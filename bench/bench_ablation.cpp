@@ -1,0 +1,155 @@
+// Ablation studies of the design choices DESIGN.md calls out.
+//
+// A. Direction assignment. The (r+c) mod 4 rule gives every line's
+//    transmitters a single residue class per (dimension, sign), so
+//    their 4-hop stride paths tile disjointly. Ablation: assign every
+//    node the *same* direction per phase (naive "+dim" scatter) and
+//    measure channel loads — contention appears immediately.
+// B. 2D pattern convention. kPaper2D and kNested differ only in which
+//    dimension key 0 pairs with; both must be contention-free with
+//    identical cost components.
+// C. Data-array layout. The §3.3 ordering keeps sends contiguous (2D:
+//    all of them); ablation with destination-rank ordering fragments
+//    the send sets badly.
+// D. Whole-algorithm ablation: digit-correction combining *without*
+//    the contention-free scheduling (the dimension-wise
+//    recursive-doubling exchange) — fewer startups, but the unscheduled
+//    overlap costs more than it saves.
+#include <cmath>
+#include <iostream>
+
+#include "baselines/dimwise.hpp"
+#include "core/data_array.hpp"
+#include "core/exchange_engine.hpp"
+#include "costmodel/models.hpp"
+#include "sim/contention.hpp"
+#include "sim/cost_simulator.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace torex;
+  bool ok = true;
+
+  // --- A: direction assignment ------------------------------------------
+  std::cout << "=== Ablation A: scheduled directions vs naive uniform directions ===\n\n";
+  TextTable a({"torus", "scheduled max load", "naive max load"});
+  a.set_align(0, TextTable::Align::kLeft);
+  for (auto extents : {std::vector<std::int32_t>{8, 8}, {12, 12}, {16, 16}, {8, 8, 4}}) {
+    const TorusShape shape(extents);
+    const SuhShinAape algo(shape);
+    ExchangeEngine engine(algo);
+    const ExchangeTrace trace = engine.run_verified();
+    const ContentionReport scheduled = check_trace_contention(algo.torus(), trace);
+
+    // Naive: every node ships its phase-1 volume 4 hops along +dim0
+    // simultaneously (what a schedule without the mod-4 direction
+    // assignment would do in its first step).
+    ContentionAnalyzer analyzer(algo.torus());
+    std::vector<TransferRecord> naive_step;
+    for (Rank p = 0; p < shape.num_nodes(); ++p) {
+      naive_step.push_back(TransferRecord{
+          p, algo.torus().neighbor_at(p, {0, Sign::kPositive}, 4),
+          Direction{0, Sign::kPositive}, 4, 1});
+    }
+    const StepContention naive = analyzer.analyze_step(naive_step);
+
+    ok = ok && scheduled.max_channel_load == 1 && naive.max_channel_load >= 4;
+    a.start_row()
+        .cell(shape.to_string())
+        .cell(scheduled.max_channel_load)
+        .cell(naive.max_channel_load);
+  }
+  a.print(std::cout);
+  std::cout << "\nthe mod-4 assignment is what keeps every channel at load 1.\n";
+
+  // --- B: 2D convention --------------------------------------------------
+  std::cout << "\n=== Ablation B: kPaper2D vs kNested on 2D tori ===\n\n";
+  TextTable b({"torus", "convention", "steps", "critical-path blocks", "contention-free"});
+  b.set_align(0, TextTable::Align::kLeft);
+  b.set_align(1, TextTable::Align::kLeft);
+  for (auto extents : {std::vector<std::int32_t>{8, 8}, {12, 8}, {16, 16}}) {
+    const TorusShape shape(extents);
+    std::int64_t blocks[2] = {0, 0};
+    int i = 0;
+    for (auto conv : {PatternConvention::kPaper2D, PatternConvention::kNested}) {
+      const SuhShinAape algo(shape, conv);
+      ExchangeEngine engine(algo);
+      const ExchangeTrace trace = engine.run_verified();
+      const ContentionReport report = check_trace_contention(algo.torus(), trace);
+      blocks[i++] = trace.total_max_blocks();
+      ok = ok && report.contention_free;
+      b.start_row()
+          .cell(shape.to_string())
+          .cell(conv == PatternConvention::kPaper2D ? "paper2d" : "nested")
+          .cell(static_cast<std::int64_t>(trace.num_steps()))
+          .cell(trace.total_max_blocks())
+          .cell(report.contention_free ? "yes" : "NO");
+    }
+    ok = ok && blocks[0] == blocks[1];
+  }
+  b.print(std::cout);
+  std::cout << "\nboth conventions are interchangeable: same costs, both contention-free.\n";
+
+  // --- C: data-array layout ----------------------------------------------
+  std::cout << "\n=== Ablation C: §3.3 layout vs naive destination-rank layout ===\n\n";
+  TextTable c({"torus", "layout", "contiguous sends", "total sends", "gathered blocks",
+               "worst runs/send"});
+  c.set_align(0, TextTable::Align::kLeft);
+  c.set_align(1, TextTable::Align::kLeft);
+  for (auto extents : {std::vector<std::int32_t>{8, 8}, {12, 12}, {8, 8, 4}}) {
+    const TorusShape shape(extents);
+    const SuhShinAape algo(shape);
+    const LayoutStats paper = run_layout_simulation(algo, LayoutPolicy::kPaper);
+    const LayoutStats naive = run_layout_simulation(algo, LayoutPolicy::kNaiveDestinationOrder);
+    ok = ok && paper.gathered_blocks <= naive.gathered_blocks;
+    if (shape.num_dims() == 2) ok = ok && paper.fully_contiguous();
+    for (const auto& [name, stats] :
+         {std::pair<const char*, const LayoutStats&>{"paper (§3.3)", paper},
+          std::pair<const char*, const LayoutStats&>{"naive dest-order", naive}}) {
+      c.start_row()
+          .cell(shape.to_string())
+          .cell(name)
+          .cell(stats.contiguous_sends)
+          .cell(stats.total_sends)
+          .cell(stats.gathered_blocks)
+          .cell(stats.max_runs_per_send);
+    }
+  }
+  c.print(std::cout);
+  std::cout << "\nthe distance/Gray layout is what makes 3 (n+1) rearrangement passes "
+               "sufficient.\n";
+
+  // --- D: combining without scheduling ------------------------------------
+  std::cout << "\n=== Ablation D: digit-correction combining without the mod-4 "
+               "scheduling ===\n\n";
+  TextTable d({"torus", "algo", "startups", "worst channel load", "priced total"});
+  d.set_align(0, TextTable::Align::kLeft);
+  d.set_align(1, TextTable::Align::kLeft);
+  for (auto extents : {std::vector<std::int32_t>{8, 8}, {16, 16}}) {
+    const TorusShape shape(extents);
+    const CostParams params = CostParams::balanced();
+    const CostBreakdown ours = proposed_cost_nd(shape, params);
+    DimwiseExchange dimwise(shape);
+    const auto steps = dimwise.run_verified();
+    const CostBreakdown priced = price_routed_steps(dimwise.torus(), steps, params);
+    ok = ok && priced.total() > ours.total();
+    d.start_row()
+        .cell(shape.to_string())
+        .cell("proposed")
+        .cell(static_cast<std::int64_t>(std::llround(ours.startup / params.t_s)))
+        .cell(std::int64_t{1})
+        .cell(ours.total(), 1);
+    d.start_row()
+        .cell(shape.to_string())
+        .cell("dimwise recursive-doubling")
+        .cell(static_cast<std::int64_t>(dimwise.num_steps()))
+        .cell(dimwise.worst_channel_load())
+        .cell(priced.total(), 1);
+  }
+  d.print(std::cout);
+  std::cout << "\ndigit correction alone buys fewer startups but its unscheduled paths\n"
+               "overlap (load >> 1); the mod-4 scheduling is the paper's contribution.\n";
+
+  std::cout << "\nall ablation expectations hold: " << (ok ? "yes" : "NO") << '\n';
+  return ok ? 0 : 1;
+}

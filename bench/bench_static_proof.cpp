@@ -1,0 +1,44 @@
+// Static contention proofs at scale.
+//
+// The engine-based checks execute O(N^2) blocks; the static prover
+// replays each step with synthetic full-activity messages (a superset
+// of any real traffic) in O(N*n) — enough to verify the paper's central
+// claim on tori three orders of magnitude beyond engine reach. This
+// bench proves contention-freedom for a ladder of large shapes and
+// reports the proof times.
+#include <chrono>
+#include <iostream>
+
+#include "sim/contention.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace torex;
+  std::cout << "=== Static contention proofs on large tori ===\n\n";
+  TextTable table({"torus", "N", "steps", "channels", "max load", "proof time (ms)"});
+  table.set_align(0, TextTable::Align::kLeft);
+  bool ok = true;
+  for (auto extents : {std::vector<std::int32_t>{64, 64}, {128, 128}, {256, 256},
+                       {32, 32, 32}, {64, 64, 64}, {16, 16, 16, 16}}) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const TorusShape shape(extents);
+    const SuhShinAape algo(shape);
+    const ContentionReport report = check_schedule_contention_static(algo);
+    const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    ok = ok && report.contention_free && report.max_channel_load == 1;
+    table.start_row()
+        .cell(shape.to_string())
+        .cell(static_cast<std::int64_t>(shape.num_nodes()))
+        .cell(static_cast<std::int64_t>(algo.total_steps()))
+        .cell(algo.torus().num_channels())
+        .cell(report.max_channel_load)
+        .cell(static_cast<std::int64_t>(ms));
+  }
+  table.print(std::cout);
+  std::cout << "\nevery step of every schedule keeps every directed channel at load 1,\n"
+               "proved without moving a single block.\n";
+  std::cout << "\nall large-shape proofs hold: " << (ok ? "yes" : "NO") << '\n';
+  return ok ? 0 : 1;
+}

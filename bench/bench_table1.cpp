@@ -1,0 +1,100 @@
+// Reproduces Table 1: "Performance summary of the proposed algorithms".
+//
+// For each torus in a 2D/3D/4D/5D sweep we print the four closed-form
+// cost components next to the values *measured* by executing the
+// schedule in the exchange engine and pricing the trace. The paper's
+// claim is that the closed forms are exact; a MATCH column makes the
+// comparison explicit. Counts are reported in model units (startups,
+// blocks, hop-steps, rearranged blocks) with unit parameters so the
+// table is parameter-independent, followed by priced totals under the
+// default parameter set.
+#include <iostream>
+
+#include "core/exchange_engine.hpp"
+#include "costmodel/models.hpp"
+#include "sim/contention.hpp"
+#include "sim/cost_simulator.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+torex::CostParams unit_params() {
+  torex::CostParams p;
+  p.t_s = 1.0;
+  p.t_c = 1.0;
+  p.t_l = 1.0;
+  p.rho = 1.0;
+  p.m = 1;
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  using namespace torex;
+  const std::vector<std::vector<std::int32_t>> shapes = {
+      {8, 8},     {12, 8},    {12, 12},  {16, 8},      {16, 16},    {20, 12},
+      {8, 8, 4},  {8, 8, 8},  {12, 8, 4}, {12, 12, 12}, {8, 8, 4, 4}, {8, 4, 4, 4},
+      {4, 4, 4, 4, 4}};
+
+  std::cout << "=== Table 1: cost components of the proposed algorithm ===\n"
+            << "analytic = closed form (Table 1 row), measured = engine trace\n\n";
+
+  TextTable table({"torus", "startups A/M", "blocks A/M", "rearr-blocks A/M", "hops A/M",
+                   "contention-free", "match"});
+  table.set_align(0, TextTable::Align::kLeft);
+
+  bool all_match = true;
+  for (const auto& extents : shapes) {
+    const TorusShape shape(extents);
+    const SuhShinAape algo(shape);
+    ExchangeEngine engine(algo);
+    const ExchangeTrace trace = engine.run_verified();
+    const ContentionReport contention = check_trace_contention(algo.torus(), trace);
+
+    const CostParams unit = unit_params();
+    const CostBreakdown analytic = proposed_cost_nd(shape, unit);
+    const CostBreakdown measured = price_trace(trace, unit);
+
+    auto pair_cell = [](double a, double m) {
+      return compact_double(a, 0) + " / " + compact_double(m, 0);
+    };
+    const bool match = analytic.startup == measured.startup &&
+                       analytic.transmission == measured.transmission &&
+                       analytic.rearrangement == measured.rearrangement &&
+                       analytic.propagation == measured.propagation;
+    all_match = all_match && match && contention.contention_free;
+
+    table.start_row()
+        .cell(shape.to_string())
+        .cell(pair_cell(analytic.startup, measured.startup))
+        .cell(pair_cell(analytic.transmission, measured.transmission))
+        .cell(pair_cell(analytic.rearrangement, measured.rearrangement))
+        .cell(pair_cell(analytic.propagation, measured.propagation))
+        .cell(contention.contention_free ? "yes" : "NO")
+        .cell(match ? "yes" : "NO");
+  }
+  table.print(std::cout);
+
+  std::cout << "\n=== Priced completion time (default parameters: t_s=100, t_c=0.02, "
+               "t_l=0.05, rho=0.01, m=64B) ===\n\n";
+  TextTable priced({"torus", "startup", "transmission", "rearrangement", "propagation",
+                    "total"});
+  priced.set_align(0, TextTable::Align::kLeft);
+  for (const auto& extents : shapes) {
+    const TorusShape shape(extents);
+    const CostBreakdown c = proposed_cost_nd(shape, CostParams::balanced());
+    priced.start_row()
+        .cell(shape.to_string())
+        .cell(c.startup, 1)
+        .cell(c.transmission, 1)
+        .cell(c.rearrangement, 1)
+        .cell(c.propagation, 1)
+        .cell(c.total(), 1);
+  }
+  priced.print(std::cout);
+
+  std::cout << "\nall analytic/measured components match: " << (all_match ? "yes" : "NO")
+            << '\n';
+  return all_match ? 0 : 1;
+}

@@ -1,0 +1,100 @@
+// Reproduces Table 2: "Comparison of completion time in two algorithms
+// for a 2^d x 2^d torus" — cost components of Tseng et al. [13],
+// Suh & Yalamanchili [9], and the proposed algorithm.
+//
+// First the components in model units for d = 2..7 (the closed forms as
+// printed in the paper), then priced totals under three parameter
+// regimes, showing the paper's qualitative conclusions:
+//   * proposed == [13] on startup & transmission, strictly better on
+//     rearrangement (3 passes vs 2^{d-1}+1) and propagation
+//     (O(2^d) vs O(2^2d));
+//   * [9] wins on startups (O(d)), proposed wins everywhere else.
+#include <iostream>
+
+#include "costmodel/models.hpp"
+#include "util/math.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace torex;
+
+  CostParams unit;
+  unit.t_s = unit.t_c = unit.t_l = unit.rho = 1.0;
+  unit.m = 1;
+
+  std::cout << "=== Table 2: cost components on a 2^d x 2^d torus (model units) ===\n\n";
+  for (const char* row : {"startup", "transmission", "rearrangement", "propagation"}) {
+    TextTable table({"d", "torus", std::string("[13] ") + row, std::string("[9] ") + row,
+                     std::string("proposed ") + row});
+    for (int d = 2; d <= 7; ++d) {
+      const std::int64_t side = ipow(2, d);
+      const CostBreakdown t = tseng_cost(d, unit);
+      const CostBreakdown sy = suh_yalamanchili_cost(d, unit);
+      const CostBreakdown ours = proposed_cost_power_of_two(d, unit);
+      auto pick = [&](const CostBreakdown& c) {
+        if (std::string(row) == "startup") return c.startup;
+        if (std::string(row) == "transmission") return c.transmission;
+        if (std::string(row) == "rearrangement") return c.rearrangement;
+        return c.propagation;
+      };
+      table.start_row()
+          .cell(static_cast<std::int64_t>(d))
+          .cell(std::to_string(side) + "x" + std::to_string(side))
+          .cell(pick(t), 1)
+          .cell(pick(sy), 1)
+          .cell(pick(ours), 1);
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+
+  std::cout << "=== Priced completion time under three regimes ===\n";
+  struct Regime {
+    const char* name;
+    CostParams params;
+  };
+  const Regime regimes[] = {
+      {"balanced (t_s=100, t_c=0.02, m=64)", CostParams::balanced()},
+      {"startup-dominated (t_s=1000, t_c=0.01, m=16)", CostParams::startup_dominated()},
+      {"bandwidth-dominated (t_s=10, t_c=0.1, m=1024)", CostParams::bandwidth_dominated()},
+  };
+  for (const auto& regime : regimes) {
+    std::cout << "\n--- " << regime.name << " ---\n";
+    TextTable table({"d", "torus", "[13] total", "[9] total", "proposed total", "winner"});
+    for (int d = 2; d <= 7; ++d) {
+      const std::int64_t side = ipow(2, d);
+      const double t = tseng_cost(d, regime.params).total();
+      const double sy = suh_yalamanchili_cost(d, regime.params).total();
+      const double ours = proposed_cost_power_of_two(d, regime.params).total();
+      const char* winner = ours <= t && ours <= sy ? "proposed" : (sy <= t ? "[9]" : "[13]");
+      table.start_row()
+          .cell(static_cast<std::int64_t>(d))
+          .cell(std::to_string(side) + "x" + std::to_string(side))
+          .cell(t, 1)
+          .cell(sy, 1)
+          .cell(ours, 1)
+          .cell(winner);
+    }
+    table.print(std::cout);
+  }
+
+  std::cout << "\npaper qualitative checks:\n";
+  bool ok = true;
+  for (int d = 2; d <= 7; ++d) {
+    const CostBreakdown t = tseng_cost(d, unit);
+    const CostBreakdown sy = suh_yalamanchili_cost(d, unit);
+    const CostBreakdown ours = proposed_cost_power_of_two(d, unit);
+    ok = ok && t.startup == ours.startup && t.transmission == ours.transmission;
+    ok = ok && ours.rearrangement <= t.rearrangement && ours.propagation <= t.propagation;
+    // [9]'s 3d-3 startups tie the proposed 2^{d-1}+2 at d = 3 (6 each);
+    // the asymptotic relations are strict from d = 4.
+    if (d >= 4) ok = ok && sy.startup < ours.startup;
+    if (d >= 4) {
+      ok = ok && ours.transmission < sy.transmission &&
+           ours.rearrangement < sy.rearrangement && ours.propagation < sy.propagation;
+    }
+  }
+  std::cout << "  proposed == [13] on startup+transmission, <= on the rest: "
+            << (ok ? "yes" : "NO") << '\n';
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,88 @@
+// Flit-level evaluation on the wormhole simulator (paper §2 machine
+// model, executed rather than modeled).
+//
+// Two results:
+//  1. Validation: every step of the proposed schedule runs stall-free
+//     at flit granularity, so the measured cycle count per step equals
+//     hops + flits - 1 exactly — the simulator reproduces the closed
+//     form with zero error.
+//  2. Comparison: total network cycles (sum over steps of batch
+//     makespan) of the proposed algorithm vs the direct baseline,
+//     whose wormhole stalls grow with network size.
+#include <iostream>
+
+#include "baselines/direct_exchange.hpp"
+#include "core/exchange_engine.hpp"
+#include "sim/wormhole.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace torex;
+  const std::int64_t flits_per_block = 8;
+  const std::vector<std::vector<std::int32_t>> shapes = {{4, 4}, {8, 8}, {12, 12}, {8, 8, 4}};
+
+  std::cout << "=== Flit-level wormhole execution (" << flits_per_block
+            << " flits per block) ===\n\n";
+  TextTable table({"torus", "algo", "steps", "network cycles", "stall cycles",
+                   "stall-free", "cycles vs proposed"});
+  table.set_align(0, TextTable::Align::kLeft);
+  table.set_align(1, TextTable::Align::kLeft);
+
+  bool ok = true;
+  for (const auto& extents : shapes) {
+    const TorusShape shape(extents);
+
+    // Proposed algorithm.
+    const SuhShinAape algo(shape);
+    ExchangeEngine engine(algo);
+    const ExchangeTrace trace = engine.run_verified();
+    const auto ours = simulate_trace_steps(algo.torus(), trace, flits_per_block);
+    std::int64_t our_cycles = 0;
+    std::int64_t our_stalls = 0;
+    bool stall_free = true;
+    for (std::size_t i = 0; i < ours.size(); ++i) {
+      our_cycles += ours[i].makespan;
+      our_stalls += ours[i].total_stalls;
+      stall_free = stall_free && ours[i].stall_free();
+      // Validation: per-step makespan must equal the closed form.
+      if (trace.steps[i].max_blocks_per_node > 0) {
+        const std::int64_t expected = WormholeSimulator::uncontended_time(
+            trace.steps[i].hops, 1 + trace.steps[i].max_blocks_per_node * flits_per_block);
+        ok = ok && ours[i].makespan == expected;
+      }
+    }
+    ok = ok && stall_free;
+    table.start_row()
+        .cell(shape.to_string())
+        .cell("proposed")
+        .cell(static_cast<std::int64_t>(ours.size()))
+        .cell(our_cycles)
+        .cell(our_stalls)
+        .cell(stall_free ? "yes" : "NO")
+        .cell(1.0, 2);
+
+    // Direct baseline.
+    DirectExchange direct(shape);
+    const auto base = simulate_routed_steps(direct.torus(), direct.steps(), flits_per_block);
+    std::int64_t base_cycles = 0;
+    std::int64_t base_stalls = 0;
+    for (const auto& out : base) {
+      base_cycles += out.makespan;
+      base_stalls += out.total_stalls;
+    }
+    table.start_row()
+        .cell(shape.to_string())
+        .cell("direct")
+        .cell(static_cast<std::int64_t>(base.size()))
+        .cell(base_cycles)
+        .cell(base_stalls)
+        .cell(base_stalls == 0 ? "yes" : "no")
+        .cell(static_cast<double>(base_cycles) / static_cast<double>(our_cycles), 2);
+  }
+  table.print(std::cout);
+  std::cout << "\n(network cycles exclude per-step software startup; adding t_s per step\n"
+               "widens the gap further because direct needs N-1 startups.)\n";
+  std::cout << "\nproposed schedule stall-free with exact closed-form step times: "
+            << (ok ? "yes" : "NO") << '\n';
+  return ok ? 0 : 1;
+}

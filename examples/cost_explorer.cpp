@@ -1,0 +1,101 @@
+// Cost explorer: completion-time what-if tool over the paper's model.
+//
+//   ./cost_explorer [--dims=16,16] [--ts=100] [--tc=0.02] [--tl=0.05]
+//                   [--rho=0.01] [--m=64]
+//
+// For the given torus and parameters, prints the component breakdown of
+// the proposed algorithm next to the ring and direct baselines and the
+// two prior algorithms (when the torus is a 2^d x 2^d square), then a
+// block-size sweep showing where each cost component dominates.
+#include <cmath>
+#include <iostream>
+
+#include "baselines/direct_exchange.hpp"
+#include "baselines/ring_exchange.hpp"
+#include "core/exchange_engine.hpp"
+#include "costmodel/models.hpp"
+#include "sim/cost_simulator.hpp"
+#include "util/cli.hpp"
+#include "util/math.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace torex;
+  try {
+    const CliFlags flags =
+        CliFlags::parse(argc, argv, {"dims", "ts", "tc", "tl", "rho", "m"});
+    const auto dims64 = flags.get_int_list("dims", {16, 16});
+    std::vector<std::int32_t> dims(dims64.begin(), dims64.end());
+    CostParams params;
+    params.t_s = flags.get_double("ts", 100.0);
+    params.t_c = flags.get_double("tc", 0.02);
+    params.t_l = flags.get_double("tl", 0.05);
+    params.rho = flags.get_double("rho", 0.01);
+    params.m = flags.get_int("m", 64);
+
+    const TorusShape shape(dims);
+    std::cout << "completion-time breakdown for " << shape.to_string() << " (t_s="
+              << params.t_s << ", t_c=" << params.t_c << ", t_l=" << params.t_l
+              << ", rho=" << params.rho << ", m=" << params.m << "B)\n\n";
+
+    TextTable table({"algorithm", "startup", "transmission", "rearrangement",
+                     "propagation", "total"});
+    table.set_align(0, TextTable::Align::kLeft);
+    auto add_row = [&](const std::string& name, const CostBreakdown& c) {
+      table.start_row()
+          .cell(name)
+          .cell(c.startup, 1)
+          .cell(c.transmission, 1)
+          .cell(c.rearrangement, 1)
+          .cell(c.propagation, 1)
+          .cell(c.total(), 1);
+    };
+
+    const SuhShinAape algo(shape);
+    EngineOptions opts;
+    opts.record_transfers = false;
+    ExchangeEngine engine(algo, opts);
+    const ExchangeTrace trace = engine.run_verified();
+    add_row("proposed (measured)", price_trace(trace, params));
+    add_row("proposed (Table 1)", proposed_cost_nd(shape, params));
+    add_row("proposed (rearr. overlapped)", price_trace_overlapped(trace, params));
+
+    RingExchange ring(shape);
+    add_row("ring pipeline", price_trace(ring.analytic_trace(), params));
+
+    DirectExchange direct(shape);
+    add_row("direct (congestion-priced)",
+            price_routed_steps(direct.torus(), direct.steps(), params));
+
+    // Prior algorithms apply to power-of-two squares only.
+    if (shape.num_dims() == 2 && shape.extent(0) == shape.extent(1) &&
+        is_power_of_two(shape.extent(0)) && shape.extent(0) >= 4) {
+      const int d = static_cast<int>(std::lround(std::log2(shape.extent(0))));
+      add_row("Tseng et al. [13]", tseng_cost(d, params));
+      add_row("Suh-Yalamanchili [9]", suh_yalamanchili_cost(d, params));
+    }
+    table.print(std::cout);
+
+    std::cout << "\nblock-size sweep (proposed, Table 1 model):\n\n";
+    TextTable sweep({"m (bytes)", "startup %", "transmission %", "rearrangement %",
+                     "propagation %", "total"});
+    for (std::int64_t m : {1, 4, 16, 64, 256, 1024, 4096}) {
+      CostParams p = params;
+      p.m = m;
+      const CostBreakdown c = proposed_cost_nd(shape, p);
+      const double total = c.total();
+      sweep.start_row()
+          .cell(m)
+          .cell(100.0 * c.startup / total, 1)
+          .cell(100.0 * c.transmission / total, 1)
+          .cell(100.0 * c.rearrangement / total, 1)
+          .cell(100.0 * c.propagation / total, 1)
+          .cell(total, 1);
+    }
+    sweep.print(std::cout);
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

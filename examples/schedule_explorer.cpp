@@ -1,0 +1,130 @@
+// Schedule explorer: inspect the Suh-Shin schedule for any torus.
+//
+//   ./schedule_explorer [--dims=12,8] [--node=0] [--markdown]
+//                       [--csv-steps=steps.csv] [--csv-transfers=transfers.csv]
+//
+// Prints the phase structure, the watched node's per-phase directions
+// and per-step traffic, the per-phase direction census, the contention
+// report, and the completion-time breakdown; optionally exports the
+// trace as CSV for plotting. A debugging/teaching tool over the same
+// public API the benches use.
+#include <fstream>
+#include <iostream>
+#include <map>
+
+#include "core/exchange_engine.hpp"
+#include "costmodel/models.hpp"
+#include "sim/contention.hpp"
+#include "sim/cost_simulator.hpp"
+#include "sim/trace_export.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+std::string dir_name(const torex::Direction& d) {
+  return std::string(d.sign == torex::Sign::kPositive ? "+" : "-") + "dim" +
+         std::to_string(d.dim);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace torex;
+  try {
+    const CliFlags flags = CliFlags::parse(
+        argc, argv, {"dims", "node", "markdown", "csv-steps", "csv-transfers"});
+    const auto dims64 = flags.get_int_list("dims", {12, 8});
+    std::vector<std::int32_t> dims(dims64.begin(), dims64.end());
+    const bool markdown = flags.get_bool("markdown", false);
+
+    const TorusShape shape(dims);
+    const SuhShinAape algo(shape);
+    const Rank watched = static_cast<Rank>(flags.get_int("node", 0));
+
+    std::cout << "schedule for " << shape.to_string() << ": " << algo.num_phases()
+              << " phases, " << algo.total_steps() << " steps\n\n";
+
+    // Phase structure + direction census.
+    TextTable phases({"phase", "kind", "steps", "hops/step", "direction census"});
+    phases.set_align(4, TextTable::Align::kLeft);
+    for (int phase = 1; phase <= algo.num_phases(); ++phase) {
+      std::map<std::string, std::int64_t> census;
+      if (algo.steps_in_phase(phase) > 0) {
+        for (Rank r = 0; r < shape.num_nodes(); ++r) {
+          ++census[dir_name(algo.direction(r, phase, 1))];
+        }
+      }
+      std::string summary;
+      for (const auto& [name, count] : census) {
+        if (!summary.empty()) summary += ", ";
+        summary += name + ":" + std::to_string(count);
+      }
+      const PhaseKind kind = algo.phase_kind(phase);
+      phases.start_row()
+          .cell(static_cast<std::int64_t>(phase))
+          .cell(kind == PhaseKind::kScatter         ? "scatter"
+                : kind == PhaseKind::kQuarterExchange ? "quarter"
+                                                      : "pair")
+          .cell(static_cast<std::int64_t>(algo.steps_in_phase(phase)))
+          .cell(static_cast<std::int64_t>(algo.hops_per_step(phase)))
+          .cell(summary.empty() ? "(no steps)" : summary);
+    }
+    markdown ? phases.print_markdown(std::cout) : phases.print(std::cout);
+
+    // Watched node detail.
+    std::cout << "\nnode " << watched << " (coord ";
+    const Coord wc = shape.coord_of(watched);
+    for (std::size_t d = 0; d < wc.size(); ++d) std::cout << (d ? "," : "(") << wc[d];
+    std::cout << ")):\n";
+
+    ExchangeEngine engine(algo);
+    const ExchangeTrace trace = engine.run_verified();
+    TextTable detail({"phase", "step", "direction", "partner", "blocks sent"});
+    for (const auto& rec : trace.steps) {
+      std::int64_t sent = 0;
+      for (const auto& t : rec.transfers) {
+        if (t.src == watched) sent = t.blocks;
+      }
+      detail.start_row()
+          .cell(static_cast<std::int64_t>(rec.phase))
+          .cell(static_cast<std::int64_t>(rec.step))
+          .cell(dir_name(algo.direction(watched, rec.phase, rec.step)))
+          .cell(static_cast<std::int64_t>(algo.partner(watched, rec.phase, rec.step)))
+          .cell(sent);
+    }
+    markdown ? detail.print_markdown(std::cout) : detail.print(std::cout);
+
+    const ContentionReport contention = check_trace_contention(algo.torus(), trace);
+    std::cout << "\ncontention-free: " << (contention.contention_free ? "yes" : "NO")
+              << " (max channel load " << contention.max_channel_load << ")\n";
+
+    const ChannelUsageStats usage = channel_usage(algo.torus(), trace);
+    std::cout << "channel usage: " << usage.used_channels << '/' << usage.total_channels
+              << " channels touched, per-channel uses " << usage.min_uses << ".."
+              << usage.max_uses << ", occupancy "
+              << compact_double(100.0 * usage.occupancy, 1) << "%\n";
+
+    if (flags.has("csv-steps")) {
+      std::ofstream out(flags.get_string("csv-steps", ""));
+      write_steps_csv(out, trace);
+      std::cout << "\nwrote per-step CSV to " << flags.get_string("csv-steps", "") << '\n';
+    }
+    if (flags.has("csv-transfers")) {
+      std::ofstream out(flags.get_string("csv-transfers", ""));
+      write_transfers_csv(out, trace);
+      std::cout << "wrote per-transfer CSV to " << flags.get_string("csv-transfers", "")
+                << '\n';
+    }
+
+    const CostBreakdown cost = price_trace(trace, CostParams::balanced());
+    std::cout << "completion time (default params): startup " << cost.startup
+              << ", transmission " << cost.transmission << ", rearrangement "
+              << cost.rearrangement << ", propagation " << cost.propagation << " -> total "
+              << cost.total() << '\n';
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,87 @@
+#include "baselines/bruck.hpp"
+
+#include <algorithm>
+
+#include "core/block.hpp"
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace torex {
+
+BruckExchange::BruckExchange(TorusShape shape) : torus_(std::move(shape)) {
+  TOREX_REQUIRE(torus_.shape().num_nodes() >= 2, "need at least two nodes");
+}
+
+int BruckExchange::num_steps() const {
+  const Rank N = torus_.shape().num_nodes();
+  int k = 0;
+  while ((std::int64_t{1} << k) < N) ++k;
+  return k;
+}
+
+std::vector<RoutedStep> BruckExchange::run_verified() {
+  const Rank N = torus_.shape().num_nodes();
+  std::vector<std::vector<Block>> buffers(static_cast<std::size_t>(N));
+  for (Rank p = 0; p < N; ++p) {
+    for (Rank d = 0; d < N; ++d) buffers[static_cast<std::size_t>(p)].push_back(Block{p, d});
+  }
+
+  std::vector<RoutedStep> steps;
+  std::vector<std::vector<Block>> inbox(static_cast<std::size_t>(N));
+  for (int k = 0; k < num_steps(); ++k) {
+    const Rank hop = static_cast<Rank>(std::int64_t{1} << k);
+    RoutedStep step;
+    for (Rank q = 0; q < N; ++q) {
+      auto& buf = buffers[static_cast<std::size_t>(q)];
+      auto split = std::stable_partition(buf.begin(), buf.end(), [&](const Block& b) {
+        const Rank remaining = static_cast<Rank>(floor_mod<std::int64_t>(b.dest - q, N));
+        return (remaining & hop) == 0;
+      });
+      const std::int64_t sent = std::distance(split, buf.end());
+      if (sent == 0) continue;
+      const Rank to = static_cast<Rank>((q + hop) % N);
+      auto& in = inbox[static_cast<std::size_t>(to)];
+      TOREX_CHECK(in.empty(), "one-port violation in Bruck exchange");
+      in.assign(split, buf.end());
+      buf.erase(split, buf.end());
+      step.messages.emplace_back(q, to);
+      step.message_blocks.push_back(sent);
+    }
+    for (Rank q = 0; q < N; ++q) {
+      auto& in = inbox[static_cast<std::size_t>(q)];
+      if (in.empty()) continue;
+      auto& buf = buffers[static_cast<std::size_t>(q)];
+      buf.insert(buf.end(), in.begin(), in.end());
+      in.clear();
+    }
+    steps.push_back(std::move(step));
+  }
+
+  // Postcondition: node q holds exactly one block from every origin,
+  // all addressed to q.
+  for (Rank q = 0; q < N; ++q) {
+    const auto& buf = buffers[static_cast<std::size_t>(q)];
+    TOREX_CHECK(static_cast<Rank>(buf.size()) == N, "Bruck exchange lost blocks");
+    std::vector<char> seen(static_cast<std::size_t>(N), 0);
+    for (const Block& b : buf) {
+      TOREX_CHECK(b.dest == q, "Bruck exchange misdelivered a block");
+      TOREX_CHECK(!seen[static_cast<std::size_t>(b.origin)], "duplicate origin");
+      seen[static_cast<std::size_t>(b.origin)] = 1;
+    }
+  }
+  return steps;
+}
+
+std::int64_t BruckExchange::critical_path_blocks() {
+  std::int64_t total = 0;
+  for (const auto& step : run_verified()) {
+    std::int64_t worst = 0;
+    for (std::size_t i = 0; i < step.messages.size(); ++i) {
+      worst = std::max(worst, step.blocks_of(i));
+    }
+    total += worst;
+  }
+  return total;
+}
+
+}  // namespace torex

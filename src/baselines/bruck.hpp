@@ -1,0 +1,50 @@
+// Bruck's all-to-all algorithm — the log-phase baseline modern MPI
+// libraries use for small messages (Bruck et al., IEEE TPDS 1997).
+//
+// Radix-2 formulation over node ranks: a block for destination d held
+// by node q still has to travel r = (d - q) mod N positions; in step k
+// (k = 0 .. ceil(log2 N) - 1) every node ships all held blocks whose
+// remaining distance has bit k set to node (q + 2^k) mod N. Receiving
+// clears exactly bit k, so after all steps every block has distance 0.
+// ceil(log2 N) startups, up to ceil(N/2) blocks per message.
+//
+// The interesting comparison against the Suh-Shin schedule on a torus:
+// Bruck needs asymptotically fewer startups (log N vs n*a1/4) but its
+// rank-space partners are far apart in the torus, so its messages cross
+// many channels and contend — which the congestion pricer and the
+// wormhole simulator quantify.
+#pragma once
+
+#include <vector>
+
+#include "sim/cost_simulator.hpp"
+#include "topology/shape.hpp"
+#include "topology/torus.hpp"
+
+namespace torex {
+
+/// Builder/executor for the Bruck exchange on a torus.
+class BruckExchange {
+ public:
+  explicit BruckExchange(TorusShape shape);
+
+  const Torus& torus() const { return torus_; }
+
+  /// ceil(log2 N) phases.
+  int num_steps() const;
+
+  /// Runs the exchange over block identities and verifies that every
+  /// node ends with one block from every origin. Returns the routed
+  /// steps with per-message block counts (for pricing), in step order.
+  std::vector<RoutedStep> run_verified();
+
+  /// Total blocks the busiest node transmits over the whole run —
+  /// Theta(N log N / 2), vs Theta(N a1 / 8) per dimension count for
+  /// the combining schedule.
+  std::int64_t critical_path_blocks();
+
+ private:
+  Torus torus_;
+};
+
+}  // namespace torex

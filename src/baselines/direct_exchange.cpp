@@ -1,0 +1,67 @@
+#include "baselines/direct_exchange.hpp"
+
+#include <algorithm>
+
+#include "sim/contention.hpp"
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace torex {
+
+DirectExchange::DirectExchange(TorusShape shape) : torus_(std::move(shape)) {
+  TOREX_REQUIRE(torus_.shape().num_nodes() >= 2, "need at least two nodes");
+}
+
+std::vector<RoutedStep> DirectExchange::steps() const {
+  const Rank N = torus_.shape().num_nodes();
+  std::vector<RoutedStep> out;
+  out.reserve(static_cast<std::size_t>(N) - 1);
+  for (Rank i = 1; i < N; ++i) {
+    RoutedStep step;
+    step.blocks_per_message = 1;
+    step.messages.reserve(static_cast<std::size_t>(N));
+    for (Rank p = 0; p < N; ++p) {
+      step.messages.emplace_back(p, static_cast<Rank>((p + i) % N));
+    }
+    out.push_back(std::move(step));
+  }
+  return out;
+}
+
+void DirectExchange::verify() const {
+  const Rank N = torus_.shape().num_nodes();
+  // delivered[o * N + d] counts deliveries of block (o, d).
+  std::vector<std::int8_t> delivered(static_cast<std::size_t>(N) * static_cast<std::size_t>(N), 0);
+  for (const auto& step : steps()) {
+    std::vector<std::int8_t> sends(static_cast<std::size_t>(N), 0);
+    std::vector<std::int8_t> recvs(static_cast<std::size_t>(N), 0);
+    for (const auto& [src, dst] : step.messages) {
+      TOREX_CHECK(!sends[static_cast<std::size_t>(src)]++, "one-port send violation");
+      TOREX_CHECK(!recvs[static_cast<std::size_t>(dst)]++, "one-port receive violation");
+      auto& count =
+          delivered[static_cast<std::size_t>(src) * static_cast<std::size_t>(N) +
+                    static_cast<std::size_t>(dst)];
+      TOREX_CHECK(count == 0, "block delivered twice");
+      count = 1;
+    }
+  }
+  for (Rank o = 0; o < N; ++o) {
+    for (Rank d = 0; d < N; ++d) {
+      const bool expected = o != d;
+      TOREX_CHECK(delivered[static_cast<std::size_t>(o) * static_cast<std::size_t>(N) +
+                            static_cast<std::size_t>(d)] == (expected ? 1 : 0),
+                  "direct exchange failed to deliver every block exactly once");
+    }
+  }
+}
+
+std::int64_t DirectExchange::worst_channel_load() const {
+  ContentionAnalyzer analyzer(torus_);
+  std::int64_t worst = 0;
+  for (const auto& step : steps()) {
+    worst = std::max(worst, analyzer.analyze_routed_step(step.messages).max_channel_load);
+  }
+  return worst;
+}
+
+}  // namespace torex

@@ -1,0 +1,43 @@
+// Direct (non-combining) all-to-all personalized exchange baseline.
+//
+// The strawman the paper's message-combining approach is measured
+// against: every node sends each of its N-1 blocks straight to its
+// destination, one per step, using minimal dimension-ordered routing.
+// Step i pairs node p with node (p + i) mod N — the classic linear
+// permutation schedule — so every node sends and receives exactly one
+// message per step (one-port safe), but paths of different messages
+// share channels and wormhole messages serialize on them.
+#pragma once
+
+#include <vector>
+
+#include "core/trace.hpp"
+#include "sim/cost_simulator.hpp"
+#include "topology/shape.hpp"
+#include "topology/torus.hpp"
+
+namespace torex {
+
+/// Builder for the direct exchange schedule.
+class DirectExchange {
+ public:
+  explicit DirectExchange(TorusShape shape);
+
+  const Torus& torus() const { return torus_; }
+
+  /// The N-1 routed steps (step i: p -> (p + i) mod N, one block each).
+  std::vector<RoutedStep> steps() const;
+
+  /// Verifies by simulation that the schedule delivers every block
+  /// (o, d), o != d, exactly once. Throws on violation.
+  void verify() const;
+
+  /// Largest per-channel load over all steps — how badly dimension-
+  /// ordered direct traffic contends on this torus.
+  std::int64_t worst_channel_load() const;
+
+ private:
+  Torus torus_;
+};
+
+}  // namespace torex

@@ -1,0 +1,57 @@
+// Ring (store-and-forward) complete-exchange baseline.
+//
+// Embeds a Hamiltonian cycle in the torus via a cyclic mixed-radix
+// reflected Gray code (valid whenever every extent is even — adjacent
+// codes differ by +-1 in exactly one digit, and the wrap edge too), then
+// pipelines all blocks around the cycle: in step i every node forwards
+// every held block whose destination lies further along the ring. N-1
+// steps, one physical hop per step, contention-free (each ring edge is
+// a distinct physical channel), but Theta(N^2) blocks through every
+// node — the no-torus-structure strawman between "direct" and the
+// paper's combining algorithm.
+#pragma once
+
+#include <vector>
+
+#include "core/trace.hpp"
+#include "topology/shape.hpp"
+#include "topology/torus.hpp"
+
+namespace torex {
+
+/// Cyclic mixed-radix reflected Gray code: position k -> coordinate.
+/// Every extent must be even (>= 2). Successive coordinates (including
+/// the wrap from last to first) differ by one hop on the torus.
+Coord gray_coord(const TorusShape& shape, std::int64_t position);
+
+/// Inverse of gray_coord.
+std::int64_t gray_position(const TorusShape& shape, const Coord& coord);
+
+/// The ring exchange baseline.
+class RingExchange {
+ public:
+  explicit RingExchange(TorusShape shape);
+
+  const Torus& torus() const { return torus_; }
+
+  /// Node visit order of the embedded Hamiltonian cycle.
+  const std::vector<Rank>& ring_order() const { return order_; }
+
+  /// Runs the pipelined exchange, verifies the AAPE postcondition, and
+  /// returns the traffic trace (phase 1, steps 1..N-1, 1 hop each).
+  /// O(N^3) blocks moved — use on small tori; benches use
+  /// analytic_trace().
+  ExchangeTrace run_verified();
+
+  /// The same trace without simulating buffers: step i moves N-i blocks
+  /// per node over 1 hop (the pipeline drains one origin per step).
+  /// O(N) to build; per-transfer detail omitted.
+  ExchangeTrace analytic_trace() const;
+
+ private:
+  Torus torus_;
+  std::vector<Rank> order_;     // ring position -> rank
+  std::vector<Rank> position_;  // rank -> ring position
+};
+
+}  // namespace torex

@@ -1,0 +1,32 @@
+// Message-block identity.
+//
+// The paper's unit of data is the block B[i, j]: the m-byte message node
+// i holds for node j. The exchange engine moves *identities* (origin,
+// destination) and verifies the AAPE permutation; byte payloads are
+// modeled separately by the data-array module so that correctness sweeps
+// over thousands of nodes stay cheap.
+#pragma once
+
+#include <cstdint>
+
+#include "topology/shape.hpp"
+
+namespace torex {
+
+/// One personalized message block: origin node i, destination node j.
+/// Packed into 8 bytes; engine buffers are flat vectors of these.
+struct Block {
+  Rank origin = 0;
+  Rank dest = 0;
+
+  bool operator==(const Block&) const = default;
+
+  /// Total order (origin-major) used to canonicalize buffers in tests.
+  friend bool operator<(const Block& a, const Block& b) {
+    return a.origin != b.origin ? a.origin < b.origin : a.dest < b.dest;
+  }
+};
+
+static_assert(sizeof(Block) == 8, "Block should stay an 8-byte value type");
+
+}  // namespace torex

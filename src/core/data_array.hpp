@@ -1,0 +1,77 @@
+// Physical data-array model (paper §3.3).
+//
+// The cost model charges one data-rearrangement pass between phases
+// (n+1 passes total) and none inside a phase, on the claim that with
+// the right array ordering every step's send set is *physically
+// contiguous*: the message can be handed to the router without copying.
+//
+// This module executes the schedule over ordered per-node buffers and
+// checks that claim mechanically:
+//  * at each phase boundary every node re-sorts its buffer by the
+//    phase's layout key (counted as one rearrangement pass);
+//  * within a phase, each send extracts the predicate-matching blocks,
+//    recording how many contiguous runs they occupied (1 = free send,
+//    >1 = the router would need scatter-gather or an extra copy);
+//  * the received message is spliced, order-preserved, into the hole
+//    the send left (receives always copy from the consumption buffer,
+//    so their placement is free).
+//
+// Layout keys:
+//  * scatter phase k: ascending directed subtorus distance to the
+//    block's target along the phase dimension — step sends are always
+//    the tail of the buffer;
+//  * quarter / pair phases: the binary-reflected Gray rank of the
+//    "difference vector" (bit s = block still differs from the holder
+//    in the dimension of step s), the n-D generalization of the
+//    paper's B0, B1, B3, B2 ordering.
+//
+// Finding: in 2D this reproduces the paper exactly (every send is one
+// run). For n >= 3 the final two phases cannot keep all n steps
+// contiguous under any fixed ordering (a parity obstruction — see
+// DESIGN.md); the simulator quantifies the extra gather traffic the
+// paper's n-D cost model leaves out.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/aape.hpp"
+#include "core/block.hpp"
+
+namespace torex {
+
+/// Contiguity statistics of one layout-faithful execution.
+struct LayoutStats {
+  /// Inter-phase rearrangement passes performed (paper: n+1).
+  std::int64_t rearrangement_passes = 0;
+  /// Blocks touched by those passes (passes * N per node, summed over
+  /// the busiest node only, matching the paper's per-node accounting).
+  std::int64_t blocks_rearranged = 0;
+  /// Total send events across all nodes and steps.
+  std::int64_t total_sends = 0;
+  /// Send events whose blocks occupied a single contiguous run.
+  std::int64_t contiguous_sends = 0;
+  /// Worst number of runs any single send needed.
+  std::int64_t max_runs_per_send = 1;
+  /// Blocks that belonged to multi-run sends (would need gathering).
+  std::int64_t gathered_blocks = 0;
+
+  bool fully_contiguous() const { return contiguous_sends == total_sends; }
+};
+
+/// Which layout key the per-phase rearrangement uses.
+enum class LayoutPolicy {
+  /// The paper's §3.3 ordering (distance-sorted scatter key, Gray-coded
+  /// difference vector for the exchange phases).
+  kPaper,
+  /// Ablation: keep buffers ordered by destination rank — a natural but
+  /// naive layout that fragments the send sets.
+  kNaiveDestinationOrder,
+};
+
+/// Executes the schedule with full layout fidelity and verifies the
+/// AAPE postcondition. Throws on any correctness violation.
+LayoutStats run_layout_simulation(const SuhShinAape& algo,
+                                  LayoutPolicy policy = LayoutPolicy::kPaper);
+
+}  // namespace torex

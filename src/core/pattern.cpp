@@ -1,0 +1,125 @@
+#include "core/pattern.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace torex {
+
+namespace {
+
+/// 2D base pattern over dimensions (d0, d1) of `coord`.
+/// phase 1 = the paper's pattern A, phase 2 = pattern B.
+Direction base_2d_scatter(const Coord& coord, int d0, int d1, int phase,
+                          PatternConvention convention) {
+  const int key = (coord[static_cast<std::size_t>(d0)] + coord[static_cast<std::size_t>(d1)]) % 4;
+  // Which dimension key 0 uses: the paper's standalone 2D pattern A sends
+  // key 0 along the second dimension (+c); the nested (3D-style) pattern A
+  // sends key 0 along the first dimension (+X). Pattern B swaps the roles.
+  const bool key0_uses_d0 = (convention == PatternConvention::kNested) == (phase == 1);
+  const bool even_key = key % 2 == 0;
+  const int dim = (even_key == key0_uses_d0) ? d0 : d1;
+  const Sign sign = key < 2 ? Sign::kPositive : Sign::kNegative;
+  return Direction{dim, sign};
+}
+
+/// Recursive n-D scatter assignment over the first `nd` dimensions
+/// (paper §4.2): nodes even along the last dimension follow the
+/// (nd-1)-D pattern in phases 1..nd-1 and do the last dimension in
+/// phase nd; odd nodes do the last dimension first, then the (nd-1)-D
+/// pattern with its phases reversed. The reversal is pinned by the
+/// paper's explicit 3D rules (§4.1): odd-Z planes run pattern C, then
+/// B, then A.
+Direction scatter_rec(const Coord& coord, int nd, int phase, PatternConvention convention) {
+  if (nd == 2) return base_2d_scatter(coord, 0, 1, phase, convention);
+  const int last = nd - 1;
+  const std::int32_t z = coord[static_cast<std::size_t>(last)];
+  if (z % 2 == 0) {
+    if (phase <= nd - 1) return scatter_rec(coord, nd - 1, phase, convention);
+    return Direction{last, z % 4 == 0 ? Sign::kPositive : Sign::kNegative};
+  }
+  if (phase == 1) {
+    return Direction{last, z % 4 == 1 ? Sign::kPositive : Sign::kNegative};
+  }
+  return scatter_rec(coord, nd - 1, nd + 1 - phase, convention);
+}
+
+/// Appends the quarter-exchange dimension order of the first `nd`
+/// dimensions for this node. Mirrors the scatter recursion: even along
+/// the last dimension -> (nd-1)-D order then the last dimension; odd ->
+/// last dimension first, then the (nd-1)-D order reversed.
+void quarter_order_rec(const Coord& coord, int nd, PatternConvention convention,
+                       std::vector<int>& out) {
+  if (nd == 2) {
+    const int key2 =
+        (coord[0] + coord[1]) % 2;
+    // Paper 2D phase 3: even (r+c) exchanges along c first; the nested
+    // (3D §4.1 phase 4) convention has even (X+Y) exchange along X first.
+    const bool first_is_d0 = (convention == PatternConvention::kNested) == (key2 == 0);
+    out.push_back(first_is_d0 ? 0 : 1);
+    out.push_back(first_is_d0 ? 1 : 0);
+    return;
+  }
+  const int last = nd - 1;
+  const std::int32_t z = coord[static_cast<std::size_t>(last)];
+  if (z % 2 == 0) {
+    quarter_order_rec(coord, nd - 1, convention, out);
+    out.push_back(last);
+  } else {
+    out.push_back(last);
+    const std::size_t begin = out.size();
+    quarter_order_rec(coord, nd - 1, convention, out);
+    std::reverse(out.begin() + static_cast<std::ptrdiff_t>(begin), out.end());
+  }
+}
+
+void require_scatter_preconditions(const TorusShape& shape, const Coord& coord, int phase) {
+  TOREX_REQUIRE(shape.num_dims() >= 2, "the Suh-Shin patterns need at least two dimensions");
+  TOREX_REQUIRE(shape.all_extents_multiple_of_four(),
+                "extents must be multiples of four (use VirtualTorus for other sizes)");
+  TOREX_REQUIRE(coord.size() == static_cast<std::size_t>(shape.num_dims()),
+                "coordinate dimensionality mismatch");
+  TOREX_REQUIRE(phase >= 1 && phase <= shape.num_dims(), "scatter phase out of range");
+}
+
+}  // namespace
+
+Direction scatter_direction(const TorusShape& shape, const Coord& coord, int phase,
+                            PatternConvention convention) {
+  require_scatter_preconditions(shape, coord, phase);
+  return scatter_rec(coord, shape.num_dims(), phase, convention);
+}
+
+int quarter_exchange_dim(const TorusShape& shape, const Coord& coord, int step,
+                         PatternConvention convention) {
+  TOREX_REQUIRE(shape.num_dims() >= 2, "the Suh-Shin patterns need at least two dimensions");
+  TOREX_REQUIRE(step >= 1 && step <= shape.num_dims(), "quarter-exchange step out of range");
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(shape.num_dims()));
+  quarter_order_rec(coord, shape.num_dims(), convention, order);
+  return order[static_cast<std::size_t>(step - 1)];
+}
+
+Sign quarter_exchange_sign(const Coord& coord, int dim) {
+  return coord[static_cast<std::size_t>(dim)] % 4 < 2 ? Sign::kPositive : Sign::kNegative;
+}
+
+int pair_exchange_dim(const TorusShape& shape, int step, PatternConvention convention) {
+  TOREX_REQUIRE(step >= 1 && step <= shape.num_dims(), "pair-exchange step out of range");
+  // Paper 2D phase 4 goes c then r; 3D phase 5 goes X, Y, Z. Both are
+  // trivially contention-free (disjoint neighbor pairs, full duplex).
+  if (shape.num_dims() == 2 && convention == PatternConvention::kPaper2D) {
+    return step == 1 ? 1 : 0;
+  }
+  return step - 1;
+}
+
+Sign pair_exchange_sign(const Coord& coord, int dim) {
+  return coord[static_cast<std::size_t>(dim)] % 2 == 0 ? Sign::kPositive : Sign::kNegative;
+}
+
+PatternConvention default_convention(const TorusShape& shape) {
+  return shape.num_dims() == 2 ? PatternConvention::kPaper2D : PatternConvention::kNested;
+}
+
+}  // namespace torex

@@ -1,0 +1,72 @@
+// Per-node direction assignment for every phase of the Suh–Shin AAPE
+// algorithm. This file encodes the scheduling heart of the paper:
+//
+//  * Scatter phases 1..n (paper §3.2 patterns for 2D, §4.1 for 3D,
+//    §4.2 recursion for n-D): each node gets a fixed (dimension, sign)
+//    per phase, determined entirely by its coordinates mod 4, such that
+//    within any 1-D line of the torus the nodes transmitting in a given
+//    (dimension, sign) form a single residue class mod 4 — their 4-hop
+//    stride paths tile the ring without sharing a channel.
+//  * Quarter-exchange phase n+1 (±2 moves inside each 4x..x4 submesh):
+//    each node visits all n dimensions once, in an order given by the
+//    same even/odd recursion; sign is +2 when the node's coordinate
+//    along the step dimension is 0 or 1 (mod 4), else -2.
+//  * Pair-exchange phase n+2 (±1 moves inside each 2x..x2 submesh):
+//    a uniform dimension order for all nodes; sign by coordinate parity.
+//
+// The assignment is a *group* invariant — all nodes with equal
+// coordinates mod 4 get identical assignments — which is what lets a
+// block be forwarded consistently along its origin's rings.
+//
+// Known paper erratum (documented in DESIGN.md): the 3D phase-4 step-1
+// rule as printed conditions the X-move sign on `Y mod 4`, which would
+// route messages out of their submesh; consistent with the 2D rules we
+// condition the sign of a move along dimension d on the node's own
+// coordinate along d.
+#pragma once
+
+#include <vector>
+
+#include "topology/shape.hpp"
+#include "topology/torus.hpp"
+
+namespace torex {
+
+/// Which dimension pairs with key 0 of the 2D base pattern. The paper's
+/// standalone 2D algorithm (§3.2) sends key-0 nodes along +c (the
+/// second dimension); its 3D algorithm (§4.1) sends key-0 nodes along
+/// +X (the first dimension). Both are valid; kPaper2D reproduces
+/// Figure 1 literally, kNested is the base case used inside the n >= 3
+/// recursion so that 3D matches §4.1 literally.
+enum class PatternConvention { kPaper2D, kNested };
+
+/// Scatter-phase assignment: (dimension, sign) for node `coord` in phase
+/// `phase` (1-based, 1 <= phase <= n). All extents must be multiples of
+/// four; n >= 2.
+Direction scatter_direction(const TorusShape& shape, const Coord& coord, int phase,
+                            PatternConvention convention);
+
+/// Dimension visited by node `coord` in step `step` (1-based, 1..n) of
+/// the quarter-exchange phase (paper phase n+1). Over the n steps every
+/// node visits every dimension exactly once, and partners at +-2 share
+/// orders because orders depend only on coordinate parities, which +-2
+/// moves preserve.
+int quarter_exchange_dim(const TorusShape& shape, const Coord& coord, int step,
+                         PatternConvention convention);
+
+/// Sign of the +-2 move along `dim` for this node: +2 when
+/// coord[dim] mod 4 in {0, 1}, else -2 (stays inside the 4x..x4 SM).
+Sign quarter_exchange_sign(const Coord& coord, int dim);
+
+/// Dimension visited in step `step` (1-based, 1..n) of the
+/// pair-exchange phase (paper phase n+2). Uniform across nodes.
+int pair_exchange_dim(const TorusShape& shape, int step, PatternConvention convention);
+
+/// Sign of the +-1 move along `dim`: +1 when coord[dim] is even.
+Sign pair_exchange_sign(const Coord& coord, int dim);
+
+/// Default convention for a shape: kPaper2D for 2 dimensions (so the 2D
+/// schedule matches §3.2 / Figure 1 literally), kNested otherwise.
+PatternConvention default_convention(const TorusShape& shape);
+
+}  // namespace torex

@@ -1,0 +1,189 @@
+// Payload-carrying exchange: the bridge from schedule to application.
+//
+// The exchange engine moves block *identities*; applications move data.
+// This header runs the same schedule over user payloads attached to
+// blocks — each node starts with one payload per destination and ends
+// with one payload per origin — so examples (matrix transpose, FFT)
+// and downstream users exercise exactly the communication pattern the
+// paper schedules, with their own element types.
+#pragma once
+
+#include <algorithm>
+#include <iterator>
+#include <utility>
+#include <vector>
+
+#include "core/aape.hpp"
+#include "core/block.hpp"
+#include "util/assert.hpp"
+
+namespace torex {
+
+/// One payload in flight: its block identity plus user data.
+template <typename T>
+struct Parcel {
+  Block block;
+  T payload;
+};
+
+/// Per-node parcel buffers, indexed by rank.
+template <typename T>
+using ParcelBuffers = std::vector<std::vector<Parcel<T>>>;
+
+/// Runs the full schedule over `initial` parcels. Requirements:
+/// initial[p] holds exactly one parcel per destination, each with
+/// block.origin == p. Returns the final buffers: node p ends with one
+/// parcel from every origin, all with block.dest == p. Throws on any
+/// violation.
+template <typename T>
+ParcelBuffers<T> exchange_payloads(const SuhShinAape& algo, ParcelBuffers<T> buffers) {
+  const Rank N = algo.shape().num_nodes();
+  TOREX_REQUIRE(static_cast<Rank>(buffers.size()) == N, "need one buffer per node");
+  for (Rank p = 0; p < N; ++p) {
+    TOREX_REQUIRE(static_cast<Rank>(buffers[static_cast<std::size_t>(p)].size()) == N,
+                  "node must start with one parcel per destination");
+    for (const auto& parcel : buffers[static_cast<std::size_t>(p)]) {
+      TOREX_REQUIRE(parcel.block.origin == p, "parcel origin must match its node");
+    }
+  }
+
+  ParcelBuffers<T> inbox(static_cast<std::size_t>(N));
+  for (int phase = 1; phase <= algo.num_phases(); ++phase) {
+    for (int step = 1; step <= algo.steps_in_phase(phase); ++step) {
+      for (Rank p = 0; p < N; ++p) {
+        auto& buf = buffers[static_cast<std::size_t>(p)];
+        auto split = std::stable_partition(buf.begin(), buf.end(), [&](const Parcel<T>& x) {
+          return !algo.should_send(p, phase, step, x.block);
+        });
+        if (split == buf.end()) continue;
+        const Rank q = algo.partner(p, phase, step);
+        auto& in = inbox[static_cast<std::size_t>(q)];
+        in.insert(in.end(), std::make_move_iterator(split),
+                  std::make_move_iterator(buf.end()));
+        buf.erase(split, buf.end());
+      }
+      for (Rank p = 0; p < N; ++p) {
+        auto& in = inbox[static_cast<std::size_t>(p)];
+        if (in.empty()) continue;
+        auto& buf = buffers[static_cast<std::size_t>(p)];
+        buf.insert(buf.end(), std::make_move_iterator(in.begin()),
+                   std::make_move_iterator(in.end()));
+        in.clear();
+      }
+    }
+  }
+
+  for (Rank p = 0; p < N; ++p) {
+    const auto& buf = buffers[static_cast<std::size_t>(p)];
+    TOREX_CHECK(static_cast<Rank>(buf.size()) == N, "payload exchange lost parcels");
+    std::vector<char> seen(static_cast<std::size_t>(N), 0);
+    for (const auto& parcel : buf) {
+      TOREX_CHECK(parcel.block.dest == p, "payload delivered to the wrong node");
+      TOREX_CHECK(!seen[static_cast<std::size_t>(parcel.block.origin)], "duplicate origin");
+      seen[static_cast<std::size_t>(parcel.block.origin)] = 1;
+    }
+  }
+  return buffers;
+}
+
+/// Runs the schedule over an arbitrary parcel multiset (the Alltoallv
+/// generalization): initial[p] may hold any parcels with origin p.
+/// Returns the final buffers; every parcel ends on its destination
+/// (checked), with no constraint on counts.
+template <typename T>
+ParcelBuffers<T> exchange_parcels_custom(const SuhShinAape& algo, ParcelBuffers<T> buffers) {
+  const Rank N = algo.shape().num_nodes();
+  TOREX_REQUIRE(static_cast<Rank>(buffers.size()) == N, "need one buffer per node");
+  std::int64_t total = 0;
+  for (Rank p = 0; p < N; ++p) {
+    for (const auto& parcel : buffers[static_cast<std::size_t>(p)]) {
+      TOREX_REQUIRE(parcel.block.origin == p, "parcel origin must match its node");
+      TOREX_REQUIRE(parcel.block.dest >= 0 && parcel.block.dest < N,
+                    "parcel destination out of range");
+      ++total;
+    }
+  }
+
+  ParcelBuffers<T> inbox(static_cast<std::size_t>(N));
+  for (int phase = 1; phase <= algo.num_phases(); ++phase) {
+    for (int step = 1; step <= algo.steps_in_phase(phase); ++step) {
+      for (Rank p = 0; p < N; ++p) {
+        auto& buf = buffers[static_cast<std::size_t>(p)];
+        auto split = std::stable_partition(buf.begin(), buf.end(), [&](const Parcel<T>& x) {
+          return !algo.should_send(p, phase, step, x.block);
+        });
+        if (split == buf.end()) continue;
+        const Rank q = algo.partner(p, phase, step);
+        auto& in = inbox[static_cast<std::size_t>(q)];
+        in.insert(in.end(), std::make_move_iterator(split),
+                  std::make_move_iterator(buf.end()));
+        buf.erase(split, buf.end());
+      }
+      for (Rank p = 0; p < N; ++p) {
+        auto& in = inbox[static_cast<std::size_t>(p)];
+        if (in.empty()) continue;
+        auto& buf = buffers[static_cast<std::size_t>(p)];
+        buf.insert(buf.end(), std::make_move_iterator(in.begin()),
+                   std::make_move_iterator(in.end()));
+        in.clear();
+      }
+    }
+  }
+
+  std::int64_t delivered = 0;
+  for (Rank p = 0; p < N; ++p) {
+    for (const auto& parcel : buffers[static_cast<std::size_t>(p)]) {
+      TOREX_CHECK(parcel.block.dest == p, "parcel delivered to the wrong node");
+      ++delivered;
+    }
+  }
+  TOREX_CHECK(delivered == total, "parcels lost or duplicated");
+  return buffers;
+}
+
+/// One-to-all personalized scatter: the root holds one payload per
+/// node; after running the (same) schedule, node d holds payloads[d].
+/// Returns the received payload per node (root keeps its own).
+template <typename T>
+std::vector<T> scatter_payloads(const SuhShinAape& algo, Rank root, std::vector<T> payloads) {
+  const Rank N = algo.shape().num_nodes();
+  TOREX_REQUIRE(root >= 0 && root < N, "root out of range");
+  TOREX_REQUIRE(static_cast<Rank>(payloads.size()) == N, "need one payload per node");
+  ParcelBuffers<T> parcels(static_cast<std::size_t>(N));
+  for (Rank d = 0; d < N; ++d) {
+    parcels[static_cast<std::size_t>(root)].push_back(
+        {Block{root, d}, std::move(payloads[static_cast<std::size_t>(d)])});
+  }
+  auto delivered = exchange_parcels_custom(algo, std::move(parcels));
+  std::vector<T> out(static_cast<std::size_t>(N));
+  for (Rank d = 0; d < N; ++d) {
+    auto& buf = delivered[static_cast<std::size_t>(d)];
+    TOREX_CHECK(buf.size() == 1, "scatter must deliver exactly one payload per node");
+    out[static_cast<std::size_t>(d)] = std::move(buf.front().payload);
+  }
+  return out;
+}
+
+/// All-to-one personalized gather: every node contributes one payload;
+/// the root ends with all of them, indexed by origin.
+template <typename T>
+std::vector<T> gather_payloads(const SuhShinAape& algo, Rank root, std::vector<T> payloads) {
+  const Rank N = algo.shape().num_nodes();
+  TOREX_REQUIRE(root >= 0 && root < N, "root out of range");
+  TOREX_REQUIRE(static_cast<Rank>(payloads.size()) == N, "need one payload per node");
+  ParcelBuffers<T> parcels(static_cast<std::size_t>(N));
+  for (Rank p = 0; p < N; ++p) {
+    parcels[static_cast<std::size_t>(p)].push_back(
+        {Block{p, root}, std::move(payloads[static_cast<std::size_t>(p)])});
+  }
+  auto delivered = exchange_parcels_custom(algo, std::move(parcels));
+  auto& buf = delivered[static_cast<std::size_t>(root)];
+  TOREX_CHECK(static_cast<Rank>(buf.size()) == N, "gather must collect N payloads");
+  std::vector<T> out(static_cast<std::size_t>(N));
+  for (auto& parcel : buf) {
+    out[static_cast<std::size_t>(parcel.block.origin)] = std::move(parcel.payload);
+  }
+  return out;
+}
+
+}  // namespace torex

@@ -1,0 +1,184 @@
+#include "core/schedule_io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace torex {
+
+namespace {
+
+const char* kind_name(PhaseKind kind) {
+  switch (kind) {
+    case PhaseKind::kScatter: return "scatter";
+    case PhaseKind::kQuarterExchange: return "quarter";
+    case PhaseKind::kPairExchange: return "pair";
+  }
+  TOREX_UNREACHABLE();
+}
+
+PhaseKind kind_from(const std::string& name) {
+  if (name == "scatter") return PhaseKind::kScatter;
+  if (name == "quarter") return PhaseKind::kQuarterExchange;
+  if (name == "pair") return PhaseKind::kPairExchange;
+  throw std::invalid_argument("unknown phase kind: " + name);
+}
+
+std::string dir_token(const Direction& d) {
+  return (d.sign == Sign::kPositive ? "+" : "-") + std::to_string(d.dim);
+}
+
+Direction dir_from(const std::string& token) {
+  TOREX_REQUIRE(token.size() >= 2 && (token[0] == '+' || token[0] == '-'),
+                "malformed direction token: " + token);
+  Direction d;
+  d.sign = token[0] == '+' ? Sign::kPositive : Sign::kNegative;
+  d.dim = std::stoi(token.substr(1));
+  return d;
+}
+
+/// Next non-comment, non-empty line.
+bool next_line(std::istream& is, std::string& line) {
+  while (std::getline(is, line)) {
+    const auto start = line.find_first_not_of(" \t");
+    if (start == std::string::npos) continue;
+    if (line[start] == '#') continue;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void write_schedule(std::ostream& os, const SuhShinAape& algo) {
+  const TorusShape& shape = algo.shape();
+  os << "torex-schedule v1\n";
+  os << "shape " << shape.to_string() << '\n';
+  os << "convention "
+     << (algo.convention() == PatternConvention::kPaper2D ? "paper2d" : "nested") << '\n';
+  for (int phase = 1; phase <= algo.num_phases(); ++phase) {
+    os << "phase " << phase << " kind " << kind_name(algo.phase_kind(phase)) << " steps "
+       << algo.steps_in_phase(phase) << " hops " << algo.hops_per_step(phase) << '\n';
+  }
+  for (int phase = 1; phase <= algo.num_phases(); ++phase) {
+    if (algo.steps_in_phase(phase) == 0) continue;
+    const bool scatter = algo.phase_kind(phase) == PhaseKind::kScatter;
+    const int lines = scatter ? 1 : algo.steps_in_phase(phase);
+    for (int s = 1; s <= lines; ++s) {
+      os << "dirs " << phase << ' ' << (scatter ? 0 : s);
+      for (Rank node = 0; node < shape.num_nodes(); ++node) {
+        os << ' ' << dir_token(algo.direction(node, phase, s));
+      }
+      os << '\n';
+    }
+  }
+}
+
+ScheduleDescription read_schedule(std::istream& is) {
+  ScheduleDescription out;
+  std::string line;
+  TOREX_REQUIRE(next_line(is, line) && line == "torex-schedule v1",
+                "missing torex-schedule v1 header");
+
+  TOREX_REQUIRE(next_line(is, line), "missing shape line");
+  {
+    std::istringstream ss(line);
+    std::string keyword, shape_text;
+    ss >> keyword >> shape_text;
+    TOREX_REQUIRE(keyword == "shape", "expected shape line, got: " + line);
+    std::stringstream dims(shape_text);
+    std::string token;
+    while (std::getline(dims, token, 'x')) {
+      out.extents.push_back(std::stoi(token));
+    }
+    TOREX_REQUIRE(!out.extents.empty(), "empty shape");
+  }
+
+  TOREX_REQUIRE(next_line(is, line), "missing convention line");
+  {
+    std::istringstream ss(line);
+    std::string keyword, value;
+    ss >> keyword >> value;
+    TOREX_REQUIRE(keyword == "convention", "expected convention line, got: " + line);
+    if (value == "paper2d") {
+      out.convention = PatternConvention::kPaper2D;
+    } else if (value == "nested") {
+      out.convention = PatternConvention::kNested;
+    } else {
+      throw std::invalid_argument("unknown convention: " + value);
+    }
+  }
+
+  std::int64_t num_nodes = 1;
+  for (auto e : out.extents) num_nodes *= e;
+
+  while (next_line(is, line)) {
+    std::istringstream ss(line);
+    std::string keyword;
+    ss >> keyword;
+    if (keyword == "phase") {
+      int index = 0;
+      std::string kw_kind, kind_text, kw_steps, kw_hops;
+      int steps = 0, hops = 0;
+      ss >> index >> kw_kind >> kind_text >> kw_steps >> steps >> kw_hops >> hops;
+      TOREX_REQUIRE(kw_kind == "kind" && kw_steps == "steps" && kw_hops == "hops",
+                    "malformed phase line: " + line);
+      TOREX_REQUIRE(index == static_cast<int>(out.phases.size()) + 1,
+                    "phases must be listed in order");
+      ScheduleDescription::Phase phase;
+      phase.kind = kind_from(kind_text);
+      phase.steps = steps;
+      phase.hops = hops;
+      out.phases.push_back(std::move(phase));
+    } else if (keyword == "dirs") {
+      int phase = 0, step = 0;
+      ss >> phase >> step;
+      TOREX_REQUIRE(phase >= 1 && phase <= static_cast<int>(out.phases.size()),
+                    "dirs line references unknown phase");
+      auto& ph = out.phases[static_cast<std::size_t>(phase - 1)];
+      std::vector<Direction> dirs;
+      dirs.reserve(static_cast<std::size_t>(num_nodes));
+      std::string token;
+      while (ss >> token) dirs.push_back(dir_from(token));
+      TOREX_REQUIRE(static_cast<std::int64_t>(dirs.size()) == num_nodes,
+                    "dirs line has wrong node count");
+      const std::size_t slot = step == 0 ? 0 : static_cast<std::size_t>(step - 1);
+      if (ph.directions.size() <= slot) ph.directions.resize(slot + 1);
+      ph.directions[slot] = std::move(dirs);
+    } else {
+      throw std::invalid_argument("unknown line: " + line);
+    }
+  }
+  return out;
+}
+
+bool matches(const ScheduleDescription& description, const SuhShinAape& algo) {
+  const TorusShape& shape = algo.shape();
+  if (description.extents != shape.extents()) return false;
+  if (description.convention != algo.convention()) return false;
+  if (static_cast<int>(description.phases.size()) != algo.num_phases()) return false;
+  for (int phase = 1; phase <= algo.num_phases(); ++phase) {
+    const auto& ph = description.phases[static_cast<std::size_t>(phase - 1)];
+    if (ph.kind != algo.phase_kind(phase)) return false;
+    if (ph.steps != algo.steps_in_phase(phase)) return false;
+    if (ph.hops != algo.hops_per_step(phase)) return false;
+    if (algo.steps_in_phase(phase) == 0) continue;
+    const bool scatter = algo.phase_kind(phase) == PhaseKind::kScatter;
+    const int lines = scatter ? 1 : algo.steps_in_phase(phase);
+    if (static_cast<int>(ph.directions.size()) != lines) return false;
+    for (int s = 1; s <= lines; ++s) {
+      const auto& dirs = ph.directions[static_cast<std::size_t>(s - 1)];
+      if (static_cast<Rank>(dirs.size()) != shape.num_nodes()) return false;
+      for (Rank node = 0; node < shape.num_nodes(); ++node) {
+        if (!(dirs[static_cast<std::size_t>(node)] == algo.direction(node, phase, s))) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace torex

@@ -1,0 +1,48 @@
+// Schedule serialization: a stable text format for exporting the
+// per-node direction tables, for offline inspection, diffing across
+// library versions, or embedding into a runtime that executes the
+// sends natively.
+//
+// Format (line-oriented, '#' comments allowed):
+//   torex-schedule v1
+//   shape 12x8
+//   convention paper2d|nested
+//   phase <k> kind scatter|quarter|pair steps <s> hops <h>
+//   dirs <phase> <step> +0 -1 +0 ...        (one token per node rank)
+// Scatter phases serialize one `dirs` line with step 0 (directions are
+// step-independent); exchange phases serialize one line per step.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/aape.hpp"
+
+namespace torex {
+
+/// Parsed form of a serialized schedule.
+struct ScheduleDescription {
+  std::vector<std::int32_t> extents;
+  PatternConvention convention = PatternConvention::kPaper2D;
+  struct Phase {
+    PhaseKind kind = PhaseKind::kScatter;
+    int steps = 0;
+    int hops = 0;
+    /// directions[step_index][node]; scatter phases have one entry.
+    std::vector<std::vector<Direction>> directions;
+  };
+  std::vector<Phase> phases;
+};
+
+/// Writes the schedule in the v1 text format.
+void write_schedule(std::ostream& os, const SuhShinAape& algo);
+
+/// Parses the v1 text format; throws std::invalid_argument on any
+/// syntax or consistency error.
+ScheduleDescription read_schedule(std::istream& is);
+
+/// True when the description is exactly the schedule `algo` produces.
+bool matches(const ScheduleDescription& description, const SuhShinAape& algo);
+
+}  // namespace torex

@@ -1,0 +1,66 @@
+#include "core/schedule_stats.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace torex {
+
+ScheduleStats compute_schedule_stats(const SuhShinAape& algo) {
+  ScheduleStats stats;
+  stats.total_steps = algo.total_steps();
+  const Rank N = algo.shape().num_nodes();
+  for (Rank node = 0; node < N; ++node) {
+    std::set<Rank> partners;
+    std::int64_t changes = 0;
+    std::int64_t run = 0;
+    std::int64_t best_run = 0;
+    Rank previous = -1;
+    for (int phase = 1; phase <= algo.num_phases(); ++phase) {
+      for (int step = 1; step <= algo.steps_in_phase(phase); ++step) {
+        const Rank partner = algo.partner(node, phase, step);
+        partners.insert(partner);
+        if (partner == previous) {
+          ++run;
+        } else {
+          if (previous != -1) ++changes;
+          best_run = std::max(best_run, run);
+          run = 1;
+          previous = partner;
+        }
+      }
+    }
+    best_run = std::max(best_run, run);
+    stats.max_distinct_partners =
+        std::max(stats.max_distinct_partners, static_cast<std::int64_t>(partners.size()));
+    stats.max_partner_changes = std::max(stats.max_partner_changes, changes);
+    stats.longest_fixed_run = std::max(stats.longest_fixed_run, best_run);
+  }
+  return stats;
+}
+
+CachedStartupCost classify_startup_steps(const SuhShinAape& algo) {
+  const Rank N = algo.shape().num_nodes();
+  CachedStartupCost out;
+  std::vector<Rank> previous(static_cast<std::size_t>(N), -1);
+  bool have_previous = false;
+  for (int phase = 1; phase <= algo.num_phases(); ++phase) {
+    for (int step = 1; step <= algo.steps_in_phase(phase); ++step) {
+      bool warm = have_previous;
+      for (Rank node = 0; node < N && warm; ++node) {
+        warm = algo.partner(node, phase, step) == previous[static_cast<std::size_t>(node)];
+      }
+      if (warm) {
+        ++out.warm_steps;
+      } else {
+        ++out.cold_steps;
+      }
+      for (Rank node = 0; node < N; ++node) {
+        previous[static_cast<std::size_t>(node)] = algo.partner(node, phase, step);
+      }
+      have_previous = true;
+    }
+  }
+  return out;
+}
+
+}  // namespace torex

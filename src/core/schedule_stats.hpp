@@ -1,0 +1,50 @@
+// Schedule statistics: quantifies the paper's qualitative selling
+// points — "destinations remain fixed over a larger number of steps"
+// (claim (ii), §1) — so they can be compared against other schedules
+// instead of taken on faith.
+#pragma once
+
+#include <cstdint>
+
+#include "core/aape.hpp"
+
+namespace torex {
+
+/// Partner-stability statistics of a schedule.
+struct ScheduleStats {
+  /// Steps in the whole schedule.
+  std::int64_t total_steps = 0;
+  /// Largest number of *distinct* partners any node addresses across
+  /// the whole schedule (proposed: 3n — one per scatter phase, two per
+  /// exchange phase dimension... measured, not assumed).
+  std::int64_t max_distinct_partners = 0;
+  /// Largest number of partner *changes* any node experiences between
+  /// consecutive steps (a change forces re-setup of DMA/buffer state;
+  /// fixed destinations are what enable the paper's "caching of message
+  /// buffers" optimization).
+  std::int64_t max_partner_changes = 0;
+  /// Longest run of consecutive steps a node keeps the same partner.
+  std::int64_t longest_fixed_run = 0;
+};
+
+/// Computes the statistics by walking the schedule for every node.
+ScheduleStats compute_schedule_stats(const SuhShinAape& algo);
+
+/// Startup accounting under the message-buffer-caching optimization the
+/// paper's claim (ii) enables: a step whose every sender keeps the
+/// partner it used in the previous step pays only `warm_fraction * t_s`
+/// (buffers, DMA descriptors and route setup are reused); any step with
+/// a fresh partner pays the full t_s.
+struct CachedStartupCost {
+  std::int64_t cold_steps = 0;  ///< steps paying full t_s
+  std::int64_t warm_steps = 0;  ///< steps paying warm_fraction * t_s
+  double total(double t_s, double warm_fraction) const {
+    return static_cast<double>(cold_steps) * t_s +
+           static_cast<double>(warm_steps) * warm_fraction * t_s;
+  }
+};
+
+/// Classifies every step of the schedule as cold or warm.
+CachedStartupCost classify_startup_steps(const SuhShinAape& algo);
+
+}  // namespace torex

@@ -1,0 +1,72 @@
+// Virtual-node padding (paper §6).
+//
+// "If the number of nodes in each dimension is not a multiple of four,
+//  the proposed algorithms can be used by adding virtual nodes, then
+//  having every node perform communication steps as proposed."
+//
+// We realize the suggestion by folding: the physical a1 x ... x an
+// torus is embedded in the virtual torus whose extents are rounded up
+// to multiples of four; every virtual node v is *hosted* by the
+// physical node with coordinates v mod physical-extent. Virtual nodes
+// whose coordinates are already physical ("primary" nodes) carry the
+// real blocks; the remaining virtual nodes exist only as forwarding
+// roles their hosts play. A physical node hosting H virtual roles
+// serializes their per-step messages, so the completion-time overhead
+// of padding is bounded by the hosting multiplicity — which the
+// executor measures and reports.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/aape.hpp"
+#include "core/trace.hpp"
+#include "topology/shape.hpp"
+
+namespace torex {
+
+/// Trace plus padding-overhead metrics.
+struct VirtualExchangeResult {
+  ExchangeTrace trace;  ///< virtual-network traffic (steps as scheduled)
+  /// Per-step maximum number of (non-empty) messages any physical node
+  /// had to send on behalf of its hosted virtual roles; 1 everywhere
+  /// means padding added no serialization.
+  std::vector<std::int64_t> per_step_host_sends;
+  /// Largest value in per_step_host_sends.
+  std::int64_t max_host_serialization = 1;
+  /// Largest number of virtual roles hosted by one physical node.
+  std::int64_t max_roles_per_host = 1;
+};
+
+/// AAPE on a torus of arbitrary extents (each >= 1, at least 2 dims)
+/// via virtual-node padding over the Suh-Shin schedule.
+class VirtualTorusAape {
+ public:
+  /// `physical` may have any positive extents; they must be sorted
+  /// non-increasing (relabel dimensions first, as for SuhShinAape).
+  explicit VirtualTorusAape(TorusShape physical);
+
+  const TorusShape& physical_shape() const { return physical_; }
+  const TorusShape& virtual_shape() const { return algo_.shape(); }
+  const SuhShinAape& schedule() const { return algo_; }
+
+  /// True when the virtual node (by virtual rank) is a primary node,
+  /// i.e. corresponds one-to-one to a physical node.
+  bool is_primary(Rank virtual_rank) const;
+
+  /// Physical host rank of a virtual node (folding: coord mod extent).
+  Rank host_of(Rank virtual_rank) const;
+
+  /// Runs the padded exchange among the physical nodes and verifies
+  /// that every physical node ends with exactly one block from every
+  /// physical node. Throws on violation.
+  VirtualExchangeResult run_verified() const;
+
+ private:
+  static TorusShape padded_shape(const TorusShape& physical);
+
+  TorusShape physical_;
+  SuhShinAape algo_;  // schedule over the padded (virtual) shape
+};
+
+}  // namespace torex

@@ -1,0 +1,23 @@
+#include "costmodel/lower_bounds.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace torex {
+
+AapeLowerBounds aape_lower_bounds(const TorusShape& shape, const CostParams& params) {
+  TOREX_REQUIRE(shape.num_nodes() >= 2, "bounds need at least two nodes");
+  const double N = static_cast<double>(shape.num_nodes());
+  const double a1 = static_cast<double>(shape.max_extent());
+  const double m = static_cast<double>(params.m);
+  AapeLowerBounds out;
+  out.startup = std::ceil(std::log2(N)) * params.t_s;
+  out.injection = (N - 1) * m * params.t_c;
+  // Bisection only applies when the longest ring can actually be cut in
+  // half (even extent); every shape the algorithms accept satisfies it.
+  out.bisection = shape.max_extent() % 2 == 0 ? N * a1 / 8.0 * m * params.t_c : 0.0;
+  return out;
+}
+
+}  // namespace torex

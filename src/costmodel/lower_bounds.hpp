@@ -1,0 +1,41 @@
+// Fundamental lower bounds for all-to-all personalized exchange on a
+// one-port wormhole torus — the yardstick that shows how close the
+// Suh-Shin schedule is to optimal, independent of any particular
+// algorithm.
+//
+// Three classical arguments:
+//  * Startup / information dissemination: under the one-port model a
+//    node can learn data from at most one new peer per step, so after s
+//    steps it holds blocks originating from at most 2^s nodes; any
+//    complete exchange needs at least ceil(log2 N) steps.
+//  * Injection bandwidth: every node must push N-1 distinct blocks
+//    through its single injection port, so transmission time is at
+//    least (N-1) * m * t_c.
+//  * Bisection bandwidth: cutting the torus across its longest
+//    dimension splits it into halves of N/2 nodes; (N/2)^2 blocks must
+//    cross from one half to the other, and only 2*N/a1 directed
+//    channels leave the half in that direction (two cut planes of the
+//    dim-0 ring, N/a1 links each), so transmission time is at least
+//    (N^2/4) / (2N/a1) = (N * a1 / 8) * m * t_c.
+#pragma once
+
+#include "costmodel/params.hpp"
+#include "topology/shape.hpp"
+
+namespace torex {
+
+/// The three lower bounds for a given torus and parameters.
+struct AapeLowerBounds {
+  double startup = 0.0;        ///< ceil(log2 N) * t_s
+  double injection = 0.0;      ///< (N-1) * m * t_c
+  double bisection = 0.0;      ///< N * a1 / 8 * m * t_c
+  /// Largest of the transmission-type bounds.
+  double transmission() const { return injection > bisection ? injection : bisection; }
+  /// A valid (loose) combined bound: startup + max transmission bound.
+  double combined() const { return startup + transmission(); }
+};
+
+/// Computes the bounds. Requires >= 2 nodes.
+AapeLowerBounds aape_lower_bounds(const TorusShape& shape, const CostParams& params);
+
+}  // namespace torex

@@ -1,0 +1,48 @@
+// The paper's four-parameter communication cost model (Section 2).
+//
+// One contention-free step that ships an m-byte-per-block message of B
+// blocks over h hops costs  t_s + B*m*t_c + h*t_l ; a data
+// rearrangement of B blocks costs  B*m*rho.  Times are unitless here —
+// published studies of the era quote microseconds; only ratios matter
+// for every comparison we reproduce.
+#pragma once
+
+#include <cstdint>
+
+namespace torex {
+
+/// Model parameters. Defaults follow the classic wormhole-era ratio of
+/// a large fixed startup vs. cheap per-byte transfer (e.g. Cray T3D
+/// class machines: ~10^2 us startup, ~10^-2 us/byte).
+struct CostParams {
+  double t_s = 100.0;        ///< startup time per message
+  double t_c = 0.02;         ///< transmission time per flit (byte)
+  double t_l = 0.05;         ///< propagation delay per hop
+  double rho = 0.01;         ///< data-rearrangement time per byte
+  std::int64_t m = 64;       ///< block size in bytes
+
+  /// Convenience named presets for benches.
+  static CostParams startup_dominated() { return CostParams{1000.0, 0.01, 0.05, 0.005, 16}; }
+  static CostParams bandwidth_dominated() { return CostParams{10.0, 0.1, 0.05, 0.05, 1024}; }
+  static CostParams balanced() { return CostParams{}; }
+};
+
+/// Completion-time decomposition used throughout the paper's tables.
+struct CostBreakdown {
+  double startup = 0.0;
+  double transmission = 0.0;
+  double rearrangement = 0.0;
+  double propagation = 0.0;
+
+  double total() const { return startup + transmission + rearrangement + propagation; }
+
+  CostBreakdown& operator+=(const CostBreakdown& other) {
+    startup += other.startup;
+    transmission += other.transmission;
+    rearrangement += other.rearrangement;
+    propagation += other.propagation;
+    return *this;
+  }
+};
+
+}  // namespace torex

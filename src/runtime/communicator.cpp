@@ -1,0 +1,100 @@
+#include "runtime/communicator.hpp"
+
+#include <limits>
+
+namespace torex {
+
+std::string to_string(AlltoallAlgorithm algorithm) {
+  switch (algorithm) {
+    case AlltoallAlgorithm::kAuto: return "auto";
+    case AlltoallAlgorithm::kSuhShin: return "suh-shin";
+    case AlltoallAlgorithm::kSuhShinPadded: return "suh-shin-padded";
+    case AlltoallAlgorithm::kRing: return "ring";
+    case AlltoallAlgorithm::kDirect: return "direct";
+    case AlltoallAlgorithm::kBruck: return "bruck";
+  }
+  TOREX_UNREACHABLE();
+}
+
+TorusCommunicator::TorusCommunicator(TorusShape shape, CostParams params)
+    : shape_(std::move(shape)), params_(params) {
+  TOREX_REQUIRE(shape_.num_nodes() >= 2, "communicator needs at least two nodes");
+  if (suh_shin_applicable()) schedule_.emplace(shape_);
+}
+
+bool TorusCommunicator::suh_shin_applicable() const {
+  return shape_.num_dims() >= 2 && shape_.all_extents_multiple_of_four() &&
+         shape_.extents_non_increasing();
+}
+
+CostBreakdown TorusCommunicator::estimate(AlltoallAlgorithm algorithm,
+                                          std::int64_t block_bytes) const {
+  TOREX_REQUIRE(block_bytes >= 1, "block size must be positive");
+  CostParams p = params_;
+  p.m = block_bytes;
+  switch (algorithm) {
+    case AlltoallAlgorithm::kAuto:
+      return estimate(select(block_bytes), block_bytes);
+    case AlltoallAlgorithm::kSuhShin: {
+      TOREX_REQUIRE(suh_shin_applicable(), "Suh-Shin schedule not applicable to this shape");
+      return proposed_cost_nd(shape_, p);
+    }
+    case AlltoallAlgorithm::kSuhShinPadded: {
+      // Pad and price the virtual run, serializing each step by the
+      // realized host multiplicity.
+      const VirtualTorusAape padded(shape_);
+      const VirtualExchangeResult run = padded.run_verified();
+      CostBreakdown out;
+      const double m = static_cast<double>(p.m);
+      for (std::size_t i = 0; i < run.trace.steps.size(); ++i) {
+        const auto& step = run.trace.steps[i];
+        const double serial = static_cast<double>(run.per_step_host_sends[i]);
+        out.startup += serial * p.t_s;
+        out.transmission +=
+            serial * static_cast<double>(step.max_blocks_per_node) * m * p.t_c;
+        out.propagation += serial * static_cast<double>(step.hops) * p.t_l;
+      }
+      out.rearrangement = static_cast<double>(run.trace.rearrangement_passes) *
+                          static_cast<double>(padded.virtual_shape().num_nodes()) * m * p.rho;
+      return out;
+    }
+    case AlltoallAlgorithm::kRing: {
+      // N-1 steps, step i moves N-i blocks over 1 hop; no rearrangement.
+      const double N = static_cast<double>(shape_.num_nodes());
+      CostBreakdown c;
+      c.startup = (N - 1) * p.t_s;
+      c.transmission = N * (N - 1) / 2 * static_cast<double>(p.m) * p.t_c;
+      c.propagation = (N - 1) * p.t_l;
+      return c;
+    }
+    case AlltoallAlgorithm::kDirect: {
+      DirectExchange direct(shape_);
+      return price_routed_steps(direct.torus(), direct.steps(), p);
+    }
+    case AlltoallAlgorithm::kBruck: {
+      BruckExchange bruck(shape_);
+      return price_routed_steps(bruck.torus(), bruck.run_verified(), p);
+    }
+  }
+  TOREX_UNREACHABLE();
+}
+
+AlltoallAlgorithm TorusCommunicator::select(std::int64_t block_bytes) const {
+  double best_time = std::numeric_limits<double>::infinity();
+  AlltoallAlgorithm best = AlltoallAlgorithm::kRing;
+  for (AlltoallAlgorithm algorithm :
+       {AlltoallAlgorithm::kSuhShin, AlltoallAlgorithm::kSuhShinPadded,
+        AlltoallAlgorithm::kRing, AlltoallAlgorithm::kDirect, AlltoallAlgorithm::kBruck}) {
+    if (algorithm == AlltoallAlgorithm::kSuhShin && !suh_shin_applicable()) continue;
+    // Padding only earns its keep when the plain schedule cannot run.
+    if (algorithm == AlltoallAlgorithm::kSuhShinPadded && suh_shin_applicable()) continue;
+    const double t = estimate(algorithm, block_bytes).total();
+    if (t < best_time) {
+      best_time = t;
+      best = algorithm;
+    }
+  }
+  return best;
+}
+
+}  // namespace torex

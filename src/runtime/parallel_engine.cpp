@@ -1,0 +1,135 @@
+#include "runtime/parallel_engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <barrier>
+#include <thread>
+
+#include "topology/group.hpp"
+#include "util/assert.hpp"
+
+namespace torex {
+
+ParallelExchange::ParallelExchange(const SuhShinAape& algorithm, ParallelOptions options)
+    : algo_(algorithm), options_(options) {
+  if (options_.num_threads <= 0) {
+    options_.num_threads =
+        std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  }
+}
+
+ExchangeTrace ParallelExchange::run_verified() {
+  const TorusShape& shape = algo_.shape();
+  const Rank N = shape.num_nodes();
+  const int T = std::min<int>(options_.num_threads, N);
+  const int n = algo_.num_dims();
+
+  buffers_.assign(static_cast<std::size_t>(N), {});
+  std::vector<std::vector<Block>> inbox(static_cast<std::size_t>(N));
+  for (Rank p = 0; p < N; ++p) {
+    auto& buf = buffers_[static_cast<std::size_t>(p)];
+    buf.reserve(static_cast<std::size_t>(N));
+    for (Rank d = 0; d < N; ++d) buf.push_back(Block{p, d});
+  }
+
+  ExchangeTrace trace;
+  trace.rearrangement_passes = n + 1;
+  trace.blocks_per_rearrangement = N;
+
+  // Build the flat step list up front so workers iterate it in lockstep.
+  struct StepId {
+    int phase;
+    int step;
+  };
+  std::vector<StepId> steps;
+  for (int phase = 1; phase <= algo_.num_phases(); ++phase) {
+    for (int step = 1; step <= algo_.steps_in_phase(phase); ++step) {
+      steps.push_back({phase, step});
+    }
+  }
+  trace.steps.resize(steps.size());
+
+  // Per-step shared accumulators (relaxed atomics; totals only).
+  std::vector<std::atomic<std::int64_t>> step_total(steps.size());
+  std::vector<std::atomic<std::int64_t>> step_max(steps.size());
+  for (auto& a : step_total) a.store(0, std::memory_order_relaxed);
+  for (auto& a : step_max) a.store(0, std::memory_order_relaxed);
+  std::atomic<bool> failed{false};
+
+  std::barrier sync(T);
+
+  auto worker = [&](int tid) {
+    const Rank lo = static_cast<Rank>(static_cast<std::int64_t>(N) * tid / T);
+    const Rank hi = static_cast<Rank>(static_cast<std::int64_t>(N) * (tid + 1) / T);
+    for (std::size_t s = 0; s < steps.size(); ++s) {
+      const auto [phase, step] = steps[s];
+      // Superstep half 1: partition own nodes' buffers and publish the
+      // send sets into partner inboxes. One-port: each inbox has
+      // exactly one writer, so no synchronization is needed beyond the
+      // barrier that separates the halves.
+      std::int64_t local_max = 0;
+      std::int64_t local_total = 0;
+      for (Rank p = lo; p < hi; ++p) {
+        auto& buf = buffers_[static_cast<std::size_t>(p)];
+        auto split = std::stable_partition(buf.begin(), buf.end(), [&](const Block& b) {
+          return !algo_.should_send(p, phase, step, b);
+        });
+        const std::int64_t sent = std::distance(split, buf.end());
+        if (sent == 0) continue;
+        const Rank q = algo_.partner(p, phase, step);
+        auto& in = inbox[static_cast<std::size_t>(q)];
+        if (!in.empty()) failed.store(true, std::memory_order_relaxed);  // one-port broken
+        in.assign(split, buf.end());
+        buf.erase(split, buf.end());
+        local_max = std::max(local_max, sent);
+        local_total += sent;
+      }
+      step_total[s].fetch_add(local_total, std::memory_order_relaxed);
+      std::int64_t seen = step_max[s].load(std::memory_order_relaxed);
+      while (local_max > seen &&
+             !step_max[s].compare_exchange_weak(seen, local_max, std::memory_order_relaxed)) {
+      }
+      sync.arrive_and_wait();
+      // Superstep half 2: integrate own inboxes.
+      for (Rank p = lo; p < hi; ++p) {
+        auto& in = inbox[static_cast<std::size_t>(p)];
+        if (in.empty()) continue;
+        auto& buf = buffers_[static_cast<std::size_t>(p)];
+        buf.insert(buf.end(), in.begin(), in.end());
+        in.clear();
+      }
+      sync.arrive_and_wait();
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(T));
+  for (int tid = 0; tid < T; ++tid) pool.emplace_back(worker, tid);
+  for (auto& th : pool) th.join();
+
+  TOREX_CHECK(!failed.load(), "one-port violation detected by the parallel runtime");
+
+  for (std::size_t s = 0; s < steps.size(); ++s) {
+    trace.steps[s].phase = steps[s].phase;
+    trace.steps[s].step = steps[s].step;
+    trace.steps[s].hops = algo_.hops_per_step(steps[s].phase);
+    trace.steps[s].total_blocks = step_total[s].load();
+    trace.steps[s].max_blocks_per_node = step_max[s].load();
+  }
+
+  // Postcondition: the AAPE permutation.
+  std::vector<char> seen(static_cast<std::size_t>(N));
+  for (Rank p = 0; p < N; ++p) {
+    const auto& buf = buffers_[static_cast<std::size_t>(p)];
+    TOREX_CHECK(static_cast<Rank>(buf.size()) == N, "wrong final block count");
+    std::fill(seen.begin(), seen.end(), 0);
+    for (const Block& b : buf) {
+      TOREX_CHECK(b.dest == p, "misdelivered block");
+      TOREX_CHECK(!seen[static_cast<std::size_t>(b.origin)], "duplicate origin");
+      seen[static_cast<std::size_t>(b.origin)] = 1;
+    }
+  }
+  return trace;
+}
+
+}  // namespace torex

@@ -1,0 +1,188 @@
+#include "sim/contention.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace torex {
+
+ContentionAnalyzer::ContentionAnalyzer(const Torus& torus)
+    : torus_(torus), load_(static_cast<std::size_t>(torus.num_channels()), 0) {}
+
+void ContentionAnalyzer::clear_loads(const std::vector<ChannelId>& touched) {
+  for (ChannelId id : touched) load_[static_cast<std::size_t>(id)] = 0;
+}
+
+StepContention ContentionAnalyzer::summarize(const std::vector<ChannelId>& touched) {
+  StepContention out;
+  for (ChannelId id : touched) {
+    const std::int64_t l = load_[static_cast<std::size_t>(id)];
+    out.max_channel_load = std::max(out.max_channel_load, l);
+    if (l >= 2) {
+      ++out.contended_channels;
+      if (!out.first_conflict) {
+        const Channel ch = torus_.channel_of(id);
+        std::ostringstream os;
+        os << "channel from node " << ch.from << " along dim " << ch.direction.dim
+           << (ch.direction.sign == Sign::kPositive ? " (+)" : " (-)") << " carries " << l
+           << " messages";
+        out.first_conflict = os.str();
+      }
+    }
+  }
+  // `touched` may list a channel several times; dedupe the count.
+  if (out.contended_channels > 0) {
+    std::vector<ChannelId> unique = touched;
+    std::sort(unique.begin(), unique.end());
+    unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+    out.contended_channels = 0;
+    for (ChannelId id : unique) {
+      if (load_[static_cast<std::size_t>(id)] >= 2) ++out.contended_channels;
+    }
+  }
+  return out;
+}
+
+StepContention ContentionAnalyzer::analyze_step(const std::vector<TransferRecord>& transfers) {
+  std::vector<ChannelId> touched;
+  for (const auto& t : transfers) {
+    if (t.blocks <= 0) continue;  // empty messages occupy no channel
+    const std::size_t before = touched.size();
+    torus_.straight_path(t.src, t.dir, t.hops, touched);
+    for (std::size_t i = before; i < touched.size(); ++i) {
+      ++load_[static_cast<std::size_t>(touched[i])];
+    }
+  }
+  StepContention out = summarize(touched);
+  clear_loads(touched);
+  return out;
+}
+
+StepContention ContentionAnalyzer::analyze_routed_step(
+    const std::vector<std::pair<Rank, Rank>>& messages) {
+  std::vector<ChannelId> touched;
+  for (const auto& [src, dst] : messages) {
+    TOREX_REQUIRE(src != dst, "message addressed to itself");
+    const std::size_t before = touched.size();
+    torus_.dimension_ordered_path(src, dst, touched);
+    for (std::size_t i = before; i < touched.size(); ++i) {
+      ++load_[static_cast<std::size_t>(touched[i])];
+    }
+  }
+  StepContention out = summarize(touched);
+  clear_loads(touched);
+  return out;
+}
+
+std::vector<std::int64_t> ContentionAnalyzer::per_message_bottleneck(
+    const std::vector<std::pair<Rank, Rank>>& messages) {
+  std::vector<ChannelId> touched;
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;  // per-message span in `touched`
+  ranges.reserve(messages.size());
+  for (const auto& [src, dst] : messages) {
+    TOREX_REQUIRE(src != dst, "message addressed to itself");
+    const std::size_t before = touched.size();
+    torus_.dimension_ordered_path(src, dst, touched);
+    ranges.emplace_back(before, touched.size());
+    for (std::size_t i = before; i < touched.size(); ++i) {
+      ++load_[static_cast<std::size_t>(touched[i])];
+    }
+  }
+  std::vector<std::int64_t> bottleneck(messages.size(), 0);
+  for (std::size_t m = 0; m < messages.size(); ++m) {
+    for (std::size_t i = ranges[m].first; i < ranges[m].second; ++i) {
+      bottleneck[m] =
+          std::max(bottleneck[m], load_[static_cast<std::size_t>(touched[i])]);
+    }
+  }
+  clear_loads(touched);
+  return bottleneck;
+}
+
+ChannelUsageStats channel_usage(const Torus& torus, const ExchangeTrace& trace) {
+  std::vector<std::int64_t> uses(static_cast<std::size_t>(torus.num_channels()), 0);
+  std::vector<ChannelId> path;
+  std::int64_t channel_steps = 0;
+  for (const auto& step : trace.steps) {
+    for (const auto& t : step.transfers) {
+      if (t.blocks <= 0) continue;
+      path.clear();
+      torus.straight_path(t.src, t.dir, t.hops, path);
+      for (ChannelId id : path) ++uses[static_cast<std::size_t>(id)];
+      channel_steps += static_cast<std::int64_t>(path.size());
+    }
+  }
+  ChannelUsageStats stats;
+  stats.total_channels = torus.num_channels();
+  std::int64_t total_uses = 0;
+  stats.min_uses = std::numeric_limits<std::int64_t>::max();
+  for (std::int64_t u : uses) {
+    total_uses += u;
+    if (u > 0) {
+      ++stats.used_channels;
+      stats.min_uses = std::min(stats.min_uses, u);
+      stats.max_uses = std::max(stats.max_uses, u);
+    }
+  }
+  if (stats.used_channels == 0) stats.min_uses = 0;
+  stats.mean_uses =
+      static_cast<double>(total_uses) / static_cast<double>(stats.total_channels);
+  const std::int64_t steps = static_cast<std::int64_t>(trace.steps.size());
+  stats.occupancy = steps == 0 ? 0.0
+                               : static_cast<double>(channel_steps) /
+                                     (static_cast<double>(stats.total_channels) *
+                                      static_cast<double>(steps));
+  return stats;
+}
+
+ContentionReport check_trace_contention(const Torus& torus, const ExchangeTrace& trace) {
+  ContentionAnalyzer analyzer(torus);
+  ContentionReport report;
+  for (std::size_t s = 0; s < trace.steps.size(); ++s) {
+    const StepContention step = analyzer.analyze_step(trace.steps[s].transfers);
+    report.max_channel_load = std::max(report.max_channel_load, step.max_channel_load);
+    if (!step.contention_free() && report.contention_free) {
+      report.contention_free = false;
+      report.first_conflict_step = s;
+      report.first_conflict = step.first_conflict;
+    }
+  }
+  return report;
+}
+
+ContentionReport check_schedule_contention_static(const SuhShinAape& algo) {
+  const Torus& torus = algo.torus();
+  const TorusShape& shape = torus.shape();
+  ContentionAnalyzer analyzer(torus);
+  ContentionReport report;
+  std::vector<TransferRecord> transfers;
+  std::size_t step_index = 0;
+  for (int phase = 1; phase <= algo.num_phases(); ++phase) {
+    const int hops = algo.hops_per_step(phase);
+    for (int step = 1; step <= algo.steps_in_phase(phase); ++step, ++step_index) {
+      transfers.clear();
+      for (Rank node = 0; node < shape.num_nodes(); ++node) {
+        const Direction dir = algo.direction(node, phase, step);
+        // Scatter assignments along extent-4 dimensions are degenerate
+        // rings of length one: those nodes never transmit.
+        if (algo.phase_kind(phase) == PhaseKind::kScatter && shape.extent(dir.dim) == 4) {
+          continue;
+        }
+        transfers.push_back(TransferRecord{node, algo.partner(node, phase, step), dir,
+                                           hops, /*blocks=*/1});
+      }
+      const StepContention result = analyzer.analyze_step(transfers);
+      report.max_channel_load = std::max(report.max_channel_load, result.max_channel_load);
+      if (!result.contention_free() && report.contention_free) {
+        report.contention_free = false;
+        report.first_conflict_step = step_index;
+        report.first_conflict = result.first_conflict;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace torex

@@ -1,0 +1,102 @@
+#include "sim/cost_simulator.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace torex {
+
+CostBreakdown price_trace(const ExchangeTrace& trace, const CostParams& params) {
+  CostBreakdown out;
+  const double m = static_cast<double>(params.m);
+  for (const auto& step : trace.steps) {
+    out.startup += params.t_s;
+    out.transmission += static_cast<double>(step.max_blocks_per_node) * m * params.t_c;
+    out.propagation += static_cast<double>(step.hops) * params.t_l;
+  }
+  out.rearrangement += static_cast<double>(trace.rearrangement_passes) *
+                       static_cast<double>(trace.blocks_per_rearrangement) * m * params.rho;
+  return out;
+}
+
+CostBreakdown price_routed_steps(const Torus& torus, const std::vector<RoutedStep>& steps,
+                                 const CostParams& params) {
+  CostBreakdown out;
+  ContentionAnalyzer analyzer(torus);
+  const double m = static_cast<double>(params.m);
+  for (const auto& step : steps) {
+    if (step.messages.empty()) continue;
+    out.startup += params.t_s;
+    const std::vector<std::int64_t> bottleneck = analyzer.per_message_bottleneck(step.messages);
+    std::int64_t worst_serialized = 0;
+    std::int64_t longest_path = 0;
+    for (std::size_t i = 0; i < step.messages.size(); ++i) {
+      worst_serialized = std::max(worst_serialized, bottleneck[i] * step.blocks_of(i));
+      longest_path =
+          std::max(longest_path, torus.distance(step.messages[i].first, step.messages[i].second));
+    }
+    out.transmission += static_cast<double>(worst_serialized) * m * params.t_c;
+    out.propagation += static_cast<double>(longest_path) * params.t_l;
+  }
+  return out;
+}
+
+CostBreakdown price_trace_overlapped(const ExchangeTrace& trace, const CostParams& params) {
+  CostBreakdown out = price_trace(trace, params);
+  if (trace.rearrangement_passes == 0 || trace.steps.empty()) return out;
+  const double m = static_cast<double>(params.m);
+  const double pass_cost =
+      static_cast<double>(trace.blocks_per_rearrangement) * m * params.rho;
+
+  // Communication time of each phase (by phase label in the trace).
+  std::vector<double> phase_comm;
+  int current_phase = trace.steps.front().phase;
+  double acc = 0.0;
+  for (const auto& step : trace.steps) {
+    if (step.phase != current_phase) {
+      phase_comm.push_back(acc);
+      acc = 0.0;
+      current_phase = step.phase;
+    }
+    acc += params.t_s + static_cast<double>(step.max_blocks_per_node) * m * params.t_c +
+           static_cast<double>(step.hops) * params.t_l;
+  }
+  phase_comm.push_back(acc);
+
+  // One rearrangement hides behind each phase that has a successor;
+  // passes beyond the available boundaries (phases with zero steps)
+  // stay fully visible.
+  double visible = 0.0;
+  std::int64_t passes = trace.rearrangement_passes;
+  for (std::size_t i = 0; i + 1 < phase_comm.size() && passes > 0; ++i, --passes) {
+    visible += std::max(0.0, pass_cost - phase_comm[i]);
+  }
+  visible += static_cast<double>(passes) * pass_cost;
+  out.rearrangement = visible;
+  return out;
+}
+
+std::vector<double> cumulative_step_times(const ExchangeTrace& trace, const CostParams& params) {
+  std::vector<double> out;
+  out.reserve(trace.steps.size());
+  const double m = static_cast<double>(params.m);
+  double t = 0.0;
+  int last_phase = trace.steps.empty() ? 0 : trace.steps.front().phase;
+  const double rearrangement_time = trace.rearrangement_passes == 0
+                                        ? 0.0
+                                        : static_cast<double>(trace.blocks_per_rearrangement) *
+                                              m * params.rho;
+  for (const auto& step : trace.steps) {
+    if (step.phase != last_phase) {
+      // One rearrangement pass between phases (paper §3.3).
+      t += rearrangement_time;
+      last_phase = step.phase;
+    }
+    t += params.t_s + static_cast<double>(step.max_blocks_per_node) * m * params.t_c +
+         static_cast<double>(step.hops) * params.t_l;
+    out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace torex

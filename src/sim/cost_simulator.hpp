@@ -1,0 +1,64 @@
+// Prices execution traces with the paper's cost model.
+//
+// For contention-free schedules (the proposed algorithm and the ring
+// baseline) a step costs  t_s + B_max*m*t_c + h*t_l  where B_max is the
+// largest message of the step. For contending traffic (the direct
+// baseline) the transmission term of each step is scaled by the
+// congestion of the most-shared channel on the critical message's path:
+// with wormhole switching, messages sharing a channel serialize, so a
+// bottleneck load of k multiplies the effective transmission time by k.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/trace.hpp"
+#include "costmodel/params.hpp"
+#include "sim/contention.hpp"
+#include "topology/torus.hpp"
+
+namespace torex {
+
+/// Prices a contention-free combining trace (engine output): startup
+/// per step, the largest message per step on the transmission term, the
+/// per-step hop count on the propagation term, plus the recorded
+/// rearrangement passes.
+CostBreakdown price_trace(const ExchangeTrace& trace, const CostParams& params);
+
+/// One step of a routed (non-combining) algorithm: point-to-point
+/// messages routed dimension-ordered. Message i carries
+/// `message_blocks[i]` blocks when that vector is non-empty, else
+/// `blocks_per_message` uniformly.
+struct RoutedStep {
+  std::vector<std::pair<Rank, Rank>> messages;
+  std::int64_t blocks_per_message = 1;
+  std::vector<std::int64_t> message_blocks;  ///< optional per-message sizes
+
+  std::int64_t blocks_of(std::size_t i) const {
+    return message_blocks.empty() ? blocks_per_message : message_blocks[i];
+  }
+};
+
+/// Prices a routed-step sequence with congestion-aware serialization.
+/// Each step costs t_s + max_i(k_i * B_i) * m * t_c + h_max * t_l,
+/// where k_i is message i's bottleneck channel load and h_max the
+/// longest path.
+CostBreakdown price_routed_steps(const Torus& torus, const std::vector<RoutedStep>& steps,
+                                 const CostParams& params);
+
+/// Per-step cost series (for figure-style benches): entry i is the
+/// cumulative completion time after step i of the trace.
+std::vector<double> cumulative_step_times(const ExchangeTrace& trace, const CostParams& params);
+
+/// Optimistic-overlap pricing: assumes each inter-phase rearrangement
+/// is performed by the processor while the router streams the
+/// preceding phase's (fixed-destination) messages, so only the excess
+/// of the rearrangement pass over that phase's communication time
+/// remains visible. This is the upper bound of the "amenable to
+/// optimizations" claim (§1(ii)); price_trace is the no-overlap lower
+/// bound. Both bounds coincide on the startup/transmission/propagation
+/// components.
+CostBreakdown price_trace_overlapped(const ExchangeTrace& trace, const CostParams& params);
+
+}  // namespace torex

@@ -1,0 +1,50 @@
+#include "sim/trace_export.hpp"
+
+#include <ostream>
+
+namespace torex {
+
+void write_steps_csv(std::ostream& os, const ExchangeTrace& trace) {
+  os << "phase,step,hops,max_blocks,total_blocks,transfers\n";
+  for (const auto& step : trace.steps) {
+    os << step.phase << ',' << step.step << ',' << step.hops << ','
+       << step.max_blocks_per_node << ',' << step.total_blocks << ','
+       << step.transfers.size() << '\n';
+  }
+}
+
+void write_transfers_csv(std::ostream& os, const ExchangeTrace& trace) {
+  os << "phase,step,src,dst,dim,sign,hops,blocks\n";
+  for (const auto& step : trace.steps) {
+    for (const auto& t : step.transfers) {
+      os << step.phase << ',' << step.step << ',' << t.src << ',' << t.dst << ','
+         << t.dir.dim << ',' << (t.dir.sign == Sign::kPositive ? 1 : -1) << ',' << t.hops
+         << ',' << t.blocks << '\n';
+    }
+  }
+}
+
+void write_series_csv(std::ostream& os, const std::string& label,
+                      const std::vector<double>& values) {
+  os << "index,label,value\n";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    os << i << ',' << label << ',' << values[i] << '\n';
+  }
+}
+
+void write_wormhole_csv(std::ostream& os, const WormholeOutcome& outcome) {
+  os << "message,start,header_arrival,delivered,stall_cycles,hops\n";
+  for (std::size_t i = 0; i < outcome.messages.size(); ++i) {
+    const auto& m = outcome.messages[i];
+    os << i << ',' << m.start << ',' << m.header_arrival << ',' << m.delivered << ','
+       << m.stall_cycles << ',' << m.hops << '\n';
+  }
+}
+
+void write_cost_csv(std::ostream& os, const std::string& label, const CostBreakdown& cost) {
+  os << "label,startup,transmission,rearrangement,propagation,total\n";
+  os << label << ',' << cost.startup << ',' << cost.transmission << ','
+     << cost.rearrangement << ',' << cost.propagation << ',' << cost.total() << '\n';
+}
+
+}  // namespace torex

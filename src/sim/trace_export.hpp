@@ -1,0 +1,37 @@
+// Trace export: CSV writers for traces, cost breakdowns, and wormhole
+// outcomes, so bench results feed straight into plotting pipelines.
+//
+// Formats (one header row, comma separated, no quoting needed — all
+// fields are numeric or simple identifiers):
+//   steps:      phase,step,hops,max_blocks,total_blocks,transfers
+//   transfers:  phase,step,src,dst,dim,sign,hops,blocks
+//   series:     index,label,value   (generic labeled series)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/trace.hpp"
+#include "costmodel/params.hpp"
+#include "sim/wormhole.hpp"
+
+namespace torex {
+
+/// One step per row.
+void write_steps_csv(std::ostream& os, const ExchangeTrace& trace);
+
+/// One transfer per row (requires the trace to have recorded transfers).
+void write_transfers_csv(std::ostream& os, const ExchangeTrace& trace);
+
+/// Generic labeled series, e.g. cumulative completion times.
+void write_series_csv(std::ostream& os, const std::string& label,
+                      const std::vector<double>& values);
+
+/// Per-message wormhole timings.
+void write_wormhole_csv(std::ostream& os, const WormholeOutcome& outcome);
+
+/// Cost breakdown as a single CSV row (with header).
+void write_cost_csv(std::ostream& os, const std::string& label, const CostBreakdown& cost);
+
+}  // namespace torex

@@ -1,0 +1,61 @@
+#include "topology/group.hpp"
+
+#include "util/assert.hpp"
+#include "util/math.hpp"
+
+namespace torex {
+
+Coord subtorus_coord(const Coord& coord) {
+  Coord out(coord.size());
+  for (std::size_t d = 0; d < coord.size(); ++d) out[d] = coord[d] / 4;
+  return out;
+}
+
+Coord group_coord(const Coord& coord) {
+  Coord out(coord.size());
+  for (std::size_t d = 0; d < coord.size(); ++d) out[d] = coord[d] % 4;
+  return out;
+}
+
+Coord submesh_coord(const Coord& coord) { return subtorus_coord(coord); }
+
+Coord within_submesh_coord(const Coord& coord) { return group_coord(coord); }
+
+Coord half_submesh_coord(const Coord& coord) {
+  Coord out(coord.size());
+  for (std::size_t d = 0; d < coord.size(); ++d) out[d] = (coord[d] % 4) / 2;
+  return out;
+}
+
+Coord proxy_coord(const Coord& origin, const Coord& dest) {
+  TOREX_REQUIRE(origin.size() == dest.size(), "coordinate dimensionality mismatch");
+  Coord out(origin.size());
+  for (std::size_t d = 0; d < origin.size(); ++d) {
+    out[d] = static_cast<std::int32_t>((dest[d] / 4) * 4 + origin[d] % 4);
+  }
+  return out;
+}
+
+TorusShape group_subtorus_shape(const TorusShape& shape) {
+  TOREX_REQUIRE(shape.all_extents_multiple_of_four(),
+                "group decomposition requires multiple-of-four extents");
+  std::vector<std::int32_t> extents(static_cast<std::size_t>(shape.num_dims()));
+  for (int d = 0; d < shape.num_dims(); ++d) {
+    extents[static_cast<std::size_t>(d)] = shape.extent(d) / 4;
+  }
+  return TorusShape(std::move(extents));
+}
+
+std::int64_t num_groups(const TorusShape& shape) { return ipow(4, shape.num_dims()); }
+
+bool same_group(const Coord& a, const Coord& b) { return group_coord(a) == group_coord(b); }
+
+bool same_submesh(const Coord& a, const Coord& b) {
+  return submesh_coord(a) == submesh_coord(b);
+}
+
+bool same_half_submesh(const Coord& a, const Coord& b) {
+  return same_submesh(a, b) && half_submesh_coord(a) == half_submesh_coord(b);
+}
+
+}  // namespace torex

@@ -1,0 +1,59 @@
+// Mod-4 node-group / submesh decomposition (paper Section 3, Figure 1).
+//
+// For a torus whose extents are multiples of four:
+//  * the *group* of a node is its coordinate vector mod 4 (16 groups in
+//    2D, 64 in 3D, 4^n in general); each group forms an
+//    (a1/4) x ... x (an/4) subtorus with stride-4 links;
+//  * the *submesh* (SM) of a node is its coordinate vector div 4 — the
+//    aligned 4 x ... x 4 box it lives in;
+//  * within an SM, the 2 x ... x 2 sub-submesh coordinate is
+//    (coord mod 4) div 2.
+//
+// Phases 1..n of the algorithm route each block from its origin to the
+// origin-group member that lives in the destination's SM (the block's
+// *proxy*); phases n+1 and n+2 finish the job inside the SM.
+#pragma once
+
+#include <cstdint>
+
+#include "topology/shape.hpp"
+
+namespace torex {
+
+/// Coordinate of a node within its group's subtorus (coord div 4).
+Coord subtorus_coord(const Coord& coord);
+
+/// Group label of a node (coord mod 4 per dimension).
+Coord group_coord(const Coord& coord);
+
+/// Coordinate of the aligned 4x...x4 submesh containing the node.
+/// Identical to subtorus_coord; both names exist because the paper uses
+/// the two views interchangeably (group-subtorus vs SM grid).
+Coord submesh_coord(const Coord& coord);
+
+/// Position of the node inside its 4x...x4 submesh (coord mod 4).
+Coord within_submesh_coord(const Coord& coord);
+
+/// Coordinate of the 2x...x2 sub-submesh inside the SM ((coord mod 4) div 2).
+Coord half_submesh_coord(const Coord& coord);
+
+/// The member of `origin`'s group located in `dest`'s submesh: the node
+/// every block (origin -> dest) must reach by the end of phase n.
+Coord proxy_coord(const Coord& origin, const Coord& dest);
+
+/// Shape of the subtorus formed by each group (extents divided by 4).
+TorusShape group_subtorus_shape(const TorusShape& shape);
+
+/// Number of distinct groups (4^n).
+std::int64_t num_groups(const TorusShape& shape);
+
+/// True when two nodes belong to the same group.
+bool same_group(const Coord& a, const Coord& b);
+
+/// True when two nodes belong to the same 4x...x4 submesh.
+bool same_submesh(const Coord& a, const Coord& b);
+
+/// True when two nodes belong to the same 2x...x2 sub-submesh.
+bool same_half_submesh(const Coord& a, const Coord& b);
+
+}  // namespace torex

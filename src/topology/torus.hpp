@@ -1,0 +1,83 @@
+// Physical torus network: directed channels, neighbors, minimal routing.
+//
+// The paper's model: full-duplex links (so the two directions of a link
+// are independent channels), one-port nodes, wormhole switching. A
+// *directed channel* is identified by its source node, dimension and
+// direction; this is the unit of contention checking.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/shape.hpp"
+
+namespace torex {
+
+/// Direction along one torus dimension.
+enum class Sign : std::int8_t { kNegative = -1, kPositive = +1 };
+
+inline Sign flip(Sign s) { return s == Sign::kPositive ? Sign::kNegative : Sign::kPositive; }
+inline std::int32_t sign_value(Sign s) { return s == Sign::kPositive ? 1 : -1; }
+
+/// (dimension, direction) pair — the paper's "+r", "-c", etc.
+struct Direction {
+  int dim = 0;
+  Sign sign = Sign::kPositive;
+
+  bool operator==(const Direction&) const = default;
+};
+
+/// Dense identifier of a directed channel; see Torus::channel_id.
+using ChannelId = std::int64_t;
+
+/// Directed physical channel from a node to its immediate neighbor
+/// along `direction`.
+struct Channel {
+  Rank from = 0;
+  Direction direction;
+};
+
+/// Torus graph view over a TorusShape: channel identifiers, neighbor
+/// queries and minimal dimension-ordered routes.
+class Torus {
+ public:
+  explicit Torus(TorusShape shape);
+
+  const TorusShape& shape() const { return shape_; }
+
+  /// Total number of directed channels (num_nodes * 2 * num_dims).
+  std::int64_t num_channels() const;
+
+  /// Dense id in [0, num_channels) for the channel leaving `from` along
+  /// `direction`.
+  ChannelId channel_id(Rank from, Direction direction) const;
+
+  /// Inverse of channel_id.
+  Channel channel_of(ChannelId id) const;
+
+  /// Immediate neighbor along a direction.
+  Rank neighbor(Rank node, Direction direction) const;
+
+  /// Node reached after `hops` (>= 0) moves along `direction`.
+  Rank neighbor_at(Rank node, Direction direction, std::int64_t hops) const;
+
+  /// Channels traversed by a message moving `hops` steps in a straight
+  /// line along `direction` from `from` (the only paths the proposed
+  /// schedules ever use). Appends to `out`.
+  void straight_path(Rank from, Direction direction, std::int64_t hops,
+                     std::vector<ChannelId>& out) const;
+
+  /// Minimal dimension-ordered route (correct dimension 0 first, then
+  /// 1, ...), each dimension taking the shorter ring direction (ties
+  /// broken toward positive). Used by the non-combining baselines.
+  /// Appends the traversed channels to `out` and returns the hop count.
+  std::int64_t dimension_ordered_path(Rank from, Rank to, std::vector<ChannelId>& out) const;
+
+  /// Minimal hop distance (sum of per-dimension ring distances).
+  std::int64_t distance(Rank a, Rank b) const;
+
+ private:
+  TorusShape shape_;
+};
+
+}  // namespace torex

@@ -1,0 +1,54 @@
+// Lightweight checked-precondition macros for the torex library.
+//
+// TOREX_REQUIRE is for public-API argument validation (throws
+// std::invalid_argument); TOREX_CHECK is for internal invariants (throws
+// std::logic_error). Both are always on: this library is a correctness
+// study of a communication schedule, and the cost of a branch per check
+// is irrelevant next to the cost of a wrong schedule silently accepted.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace torex::detail {
+
+[[noreturn]] inline void throw_require_failure(const char* expr, const char* file, int line,
+                                               const std::string& message) {
+  std::ostringstream os;
+  os << "requirement failed: " << expr << " at " << file << ':' << line;
+  if (!message.empty()) os << " — " << message;
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file, int line,
+                                             const std::string& message) {
+  std::ostringstream os;
+  os << "internal invariant violated: " << expr << " at " << file << ':' << line;
+  if (!message.empty()) os << " — " << message;
+  throw std::logic_error(os.str());
+}
+
+[[noreturn]] inline void throw_unreachable(const char* file, int line) {
+  std::ostringstream os;
+  os << "unreachable code executed at " << file << ':' << line;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace torex::detail
+
+#define TOREX_UNREACHABLE() ::torex::detail::throw_unreachable(__FILE__, __LINE__)
+
+#define TOREX_REQUIRE(expr, message)                                                      \
+  do {                                                                                    \
+    if (!(expr)) {                                                                        \
+      ::torex::detail::throw_require_failure(#expr, __FILE__, __LINE__, (message));       \
+    }                                                                                     \
+  } while (false)
+
+#define TOREX_CHECK(expr, message)                                                        \
+  do {                                                                                    \
+    if (!(expr)) {                                                                        \
+      ::torex::detail::throw_check_failure(#expr, __FILE__, __LINE__, (message));         \
+    }                                                                                     \
+  } while (false)

@@ -1,0 +1,85 @@
+#include "util/cli.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+
+namespace torex {
+
+namespace {
+
+bool is_known(const std::vector<std::string>& known, const std::string& name) {
+  return std::find(known.begin(), known.end(), name) != known.end();
+}
+
+}  // namespace
+
+CliFlags CliFlags::parse(int argc, const char* const* argv,
+                         const std::vector<std::string>& known) {
+  CliFlags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    TOREX_REQUIRE(arg.rfind("--", 0) == 0, "expected --flag, got: " + arg);
+    arg.erase(0, 2);
+    std::string name;
+    std::string value;
+    if (auto eq = arg.find('='); eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg;
+      // `--key value` form: consume the next token unless it is a flag.
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      } else {
+        value = "true";
+      }
+    }
+    TOREX_REQUIRE(is_known(known, name), "unknown flag: --" + name);
+    flags.values_[name] = value;
+  }
+  return flags;
+}
+
+bool CliFlags::has(const std::string& name) const { return values_.count(name) > 0; }
+
+std::string CliFlags::get_string(const std::string& name, const std::string& fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t CliFlags::get_int(const std::string& name, std::int64_t fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return std::stoll(it->second);
+}
+
+double CliFlags::get_double(const std::string& name, double fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return std::stod(it->second);
+}
+
+bool CliFlags::get_bool(const std::string& name, bool fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::vector<std::int64_t> CliFlags::get_int_list(const std::string& name,
+                                                 std::vector<std::int64_t> fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  std::vector<std::int64_t> out;
+  std::stringstream ss(it->second);
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    if (!token.empty()) out.push_back(std::stoll(token));
+  }
+  TOREX_REQUIRE(!out.empty(), "empty list for flag --" + name);
+  return out;
+}
+
+}  // namespace torex

@@ -1,0 +1,37 @@
+// Minimal command-line flag parsing for bench and example binaries.
+//
+// Supports `--key=value`, `--key value`, and boolean `--flag` forms.
+// Unknown flags are an error so typos in sweep scripts fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace torex {
+
+/// Parsed command-line flags with typed accessors and defaults.
+class CliFlags {
+ public:
+  /// Parses argv. `known` lists every accepted flag name (without the
+  /// leading dashes); anything else throws std::invalid_argument.
+  static CliFlags parse(int argc, const char* const* argv,
+                        const std::vector<std::string>& known);
+
+  bool has(const std::string& name) const;
+  std::string get_string(const std::string& name, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Comma-separated integer list, e.g. --dims=12,8,4.
+  std::vector<std::int64_t> get_int_list(const std::string& name,
+                                         std::vector<std::int64_t> fallback) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace torex

@@ -1,0 +1,72 @@
+// Small integer helpers shared across the library.
+//
+// Torus arithmetic needs a *mathematical* modulus (always non-negative)
+// rather than C++'s truncated `%`, and schedule construction does a lot
+// of exact divisions that we want to fail loudly when misused.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+#include "util/assert.hpp"
+
+namespace torex {
+
+/// Floor modulus: result is in [0, m) for any integer value and m > 0.
+template <typename T>
+constexpr T floor_mod(T value, T m) {
+  static_assert(std::is_integral_v<T>);
+  T r = static_cast<T>(value % m);
+  return static_cast<T>(r < 0 ? r + m : r);
+}
+
+/// Ceiling division for non-negative integers.
+template <typename T>
+constexpr T ceil_div(T a, T b) {
+  static_assert(std::is_integral_v<T>);
+  return static_cast<T>((a + b - 1) / b);
+}
+
+/// Exact division: checked to have zero remainder.
+template <typename T>
+constexpr T exact_div(T a, T b) {
+  TOREX_CHECK(b != 0 && a % b == 0, "exact_div with non-divisible operands");
+  return static_cast<T>(a / b);
+}
+
+/// Integer power with small exponents (used by cost-model closed forms).
+constexpr std::int64_t ipow(std::int64_t base, int exp) {
+  std::int64_t r = 1;
+  for (int i = 0; i < exp; ++i) r *= base;
+  return r;
+}
+
+/// True when `value` is a positive multiple of `factor`.
+constexpr bool is_positive_multiple_of(std::int64_t value, std::int64_t factor) {
+  return value > 0 && value % factor == 0;
+}
+
+/// Smallest multiple of `factor` that is >= value (value >= 0).
+constexpr std::int64_t round_up_to_multiple(std::int64_t value, std::int64_t factor) {
+  return ceil_div(value, factor) * factor;
+}
+
+/// True when `value` is an integer power of two (and positive).
+constexpr bool is_power_of_two(std::int64_t value) {
+  return value > 0 && (value & (value - 1)) == 0;
+}
+
+/// Signed distance from `a` to `b` on a ring of size `n`, choosing the
+/// representative in (-n/2, n/2]. Used by minimal torus routing.
+constexpr std::int64_t ring_delta(std::int64_t a, std::int64_t b, std::int64_t n) {
+  std::int64_t d = floor_mod(b - a, n);
+  return d > n / 2 ? d - n : d;
+}
+
+/// Hop count from `a` to `b` on a ring of size `n` under minimal routing.
+constexpr std::int64_t ring_distance(std::int64_t a, std::int64_t b, std::int64_t n) {
+  std::int64_t d = ring_delta(a, b, n);
+  return d < 0 ? -d : d;
+}
+
+}  // namespace torex

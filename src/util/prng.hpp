@@ -1,0 +1,53 @@
+// Deterministic PRNG for tests and workload generation.
+//
+// SplitMix64: tiny, fast, and reproducible across platforms — we never
+// want a test sweep to depend on libstdc++'s distribution internals.
+#pragma once
+
+#include <cstdint>
+
+#include "util/assert.hpp"
+
+namespace torex {
+
+/// SplitMix64 generator. Deterministic given the seed; suitable for
+/// shuffles and workload synthesis, not cryptography.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    state_ += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform value in [0, bound). Modulo bias is below 2^-32 for the
+  /// bounds used here (node counts), irrelevant for tests/workloads.
+  std::uint64_t next_below(std::uint64_t bound) {
+    TOREX_REQUIRE(bound > 0, "bound must be positive");
+    return next() % bound;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Fisher–Yates shuffle with a SplitMix64 source.
+template <typename Container>
+void deterministic_shuffle(Container& items, SplitMix64& rng) {
+  for (std::size_t i = items.size(); i > 1; --i) {
+    std::size_t j = static_cast<std::size_t>(rng.next_below(i));
+    using std::swap;
+    swap(items[i - 1], items[j]);
+  }
+}
+
+}  // namespace torex

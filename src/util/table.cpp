@@ -1,0 +1,146 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace torex {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)), align_(header_.size(), Align::kRight) {
+  TOREX_REQUIRE(!header_.empty(), "table needs at least one column");
+}
+
+TextTable& TextTable::start_row() {
+  if (!rows_.empty()) {
+    TOREX_CHECK(rows_.back().size() == header_.size(), "previous row incomplete");
+  }
+  rows_.emplace_back();
+  return *this;
+}
+
+TextTable& TextTable::cell(std::string text) {
+  TOREX_CHECK(!rows_.empty(), "cell() before start_row()");
+  TOREX_CHECK(rows_.back().size() < header_.size(), "too many cells in row");
+  rows_.back().push_back(std::move(text));
+  return *this;
+}
+
+TextTable& TextTable::cell(std::int64_t value) { return cell(with_thousands(value)); }
+
+TextTable& TextTable::cell(double value, int precision) {
+  return cell(compact_double(value, precision));
+}
+
+void TextTable::set_align(std::size_t column, Align align) {
+  TOREX_REQUIRE(column < align_.size(), "column out of range");
+  align_[column] = align;
+}
+
+std::vector<std::size_t> TextTable::column_widths() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  return widths;
+}
+
+namespace {
+
+void print_cell(std::ostream& os, const std::string& text, std::size_t width,
+                TextTable::Align align) {
+  if (align == TextTable::Align::kLeft) {
+    os << std::left << std::setw(static_cast<int>(width)) << text;
+  } else {
+    os << std::right << std::setw(static_cast<int>(width)) << text;
+  }
+}
+
+}  // namespace
+
+void TextTable::print(std::ostream& os) const {
+  const auto widths = column_widths();
+  auto rule = [&] {
+    os << '+';
+    for (auto w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  rule();
+  os << '|';
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << ' ';
+    print_cell(os, header_[c], widths[c], Align::kLeft);
+    os << " |";
+  }
+  os << '\n';
+  rule();
+  for (const auto& row : rows_) {
+    os << '|';
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      os << ' ';
+      print_cell(os, c < row.size() ? row[c] : std::string{}, widths[c], align_[c]);
+      os << " |";
+    }
+    os << '\n';
+  }
+  rule();
+}
+
+void TextTable::print_markdown(std::ostream& os) const {
+  const auto widths = column_widths();
+  os << '|';
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << ' ';
+    print_cell(os, header_[c], widths[c], Align::kLeft);
+    os << " |";
+  }
+  os << "\n|";
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << (align_[c] == Align::kRight ? std::string(widths[c] + 1, '-') + ":"
+                                      : std::string(widths[c] + 2, '-'))
+       << '|';
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    os << '|';
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      os << ' ';
+      print_cell(os, c < row.size() ? row[c] : std::string{}, widths[c], align_[c]);
+      os << " |";
+    }
+    os << '\n';
+  }
+}
+
+std::string with_thousands(std::int64_t value) {
+  const bool negative = value < 0;
+  std::string digits = std::to_string(negative ? -value : value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3 + 1);
+  std::size_t lead = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  out.append(digits, 0, lead);
+  for (std::size_t i = lead; i < digits.size(); i += 3) {
+    out.push_back(',');
+    out.append(digits, i, 3);
+  }
+  return negative ? "-" + out : out;
+}
+
+std::string compact_double(double value, int max_precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(max_precision) << value;
+  std::string s = os.str();
+  if (s.find('.') != std::string::npos) {
+    while (s.back() == '0') s.pop_back();
+    if (s.back() == '.') s.pop_back();
+  }
+  return s;
+}
+
+}  // namespace torex

@@ -1,0 +1,57 @@
+// Plain-text / markdown table rendering for bench output.
+//
+// The benches reproduce the paper's tables; this gives them a single,
+// consistent way to print aligned columns to stdout.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace torex {
+
+/// Column-aligned text table. Cells are strings; numeric convenience
+/// overloads format with a fixed precision.
+class TextTable {
+ public:
+  enum class Align { kLeft, kRight };
+
+  /// Starts a table with the given header row.
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Begins a new (empty) body row.
+  TextTable& start_row();
+
+  /// Appends one cell to the current row.
+  TextTable& cell(std::string text);
+  TextTable& cell(std::int64_t value);
+  TextTable& cell(double value, int precision = 3);
+
+  /// Sets the alignment of a column (default: right for all).
+  void set_align(std::size_t column, Align align);
+
+  /// Renders with box-drawing separators.
+  void print(std::ostream& os) const;
+
+  /// Renders as a GitHub-flavored markdown table.
+  void print_markdown(std::ostream& os) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::size_t> column_widths() const;
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<Align> align_;
+};
+
+/// Formats a time expressed in abstract "cycles"/unit costs with
+/// thousands separators, e.g. 1234567 -> "1,234,567".
+std::string with_thousands(std::int64_t value);
+
+/// Formats a double compactly (trailing zeros trimmed).
+std::string compact_double(double value, int max_precision = 4);
+
+}  // namespace torex

@@ -1,0 +1,102 @@
+// Tests for the node-local runtime: local schedules are constant-size,
+// the programs' decisions match the omniscient oracle block for block,
+// and the lockstep runtime reproduces the engine's results exactly.
+#include <gtest/gtest.h>
+
+#include "core/exchange_engine.hpp"
+#include "runtime/node_program.hpp"
+
+namespace torex {
+namespace {
+
+TEST(LocalScheduleTest, ExtractionMatchesOracle) {
+  const SuhShinAape algo(TorusShape::make_2d(12, 8));
+  for (Rank node : {0, 17, 50, 95}) {
+    const LocalSchedule local = extract_local_schedule(algo, node);
+    EXPECT_EQ(local.self, node);
+    EXPECT_EQ(local.shape, algo.shape());
+    ASSERT_EQ(static_cast<int>(local.phases.size()), algo.num_phases());
+    std::size_t flat = 0;
+    for (int phase = 1; phase <= algo.num_phases(); ++phase) {
+      EXPECT_EQ(local.phases[static_cast<std::size_t>(phase - 1)].steps,
+                algo.steps_in_phase(phase));
+      for (int step = 1; step <= algo.steps_in_phase(phase); ++step, ++flat) {
+        EXPECT_EQ(local.plan[flat].partner, algo.partner(node, phase, step));
+        EXPECT_EQ(local.plan[flat].dim, algo.direction(node, phase, step).dim);
+      }
+    }
+  }
+}
+
+TEST(LocalScheduleTest, ConfigurationIsConstantSizePerNode) {
+  // The per-node plan grows with the schedule length (Theta(a1)), never
+  // with the node count N — the property that makes a real port scale.
+  const LocalSchedule small = extract_local_schedule(SuhShinAape(TorusShape({8, 8})), 0);
+  const LocalSchedule large = extract_local_schedule(SuhShinAape(TorusShape({8, 8, 8})), 0);
+  EXPECT_EQ(static_cast<int>(small.plan.size()),
+            SuhShinAape(TorusShape({8, 8})).total_steps());
+  EXPECT_EQ(static_cast<int>(large.plan.size()),
+            SuhShinAape(TorusShape({8, 8, 8})).total_steps());
+}
+
+TEST(NodeProgramTest, LocalPredicateMatchesOracleEverywhere) {
+  const SuhShinAape algo(TorusShape::make_2d(8, 8));
+  const Rank N = algo.shape().num_nodes();
+  for (Rank node = 0; node < N; node += 5) {
+    NodeProgram program(extract_local_schedule(algo, node));
+    program.seed_canonical();
+    // Compare the program's first-step send set with the oracle's.
+    std::vector<Block> expected;
+    for (Rank d = 0; d < N; ++d) {
+      const Block b{node, d};
+      if (algo.should_send(node, 1, 1, b)) expected.push_back(b);
+    }
+    Rank partner = -1;
+    std::vector<Block> got = program.collect_outgoing(0, partner);
+    EXPECT_EQ(partner, algo.partner(node, 1, 1));
+    std::sort(expected.begin(), expected.end());
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, expected) << "node " << node;
+  }
+}
+
+struct NodeRuntimeCase {
+  std::vector<std::int32_t> extents;
+};
+
+class NodeRuntimeTest : public ::testing::TestWithParam<NodeRuntimeCase> {};
+
+TEST_P(NodeRuntimeTest, LockstepRuntimeMatchesEngine) {
+  const SuhShinAape algo{TorusShape{GetParam().extents}};
+  EngineOptions opts;
+  opts.record_transfers = false;
+  ExchangeEngine engine(algo, opts);
+  const ExchangeTrace reference = engine.run_verified();
+
+  StepSynchronousRuntime runtime(algo);
+  const ExchangeTrace local = runtime.run_verified();
+
+  ASSERT_EQ(local.steps.size(), reference.steps.size());
+  for (std::size_t i = 0; i < reference.steps.size(); ++i) {
+    EXPECT_EQ(local.steps[i].phase, reference.steps[i].phase);
+    EXPECT_EQ(local.steps[i].step, reference.steps[i].step);
+    EXPECT_EQ(local.steps[i].max_blocks_per_node, reference.steps[i].max_blocks_per_node);
+    EXPECT_EQ(local.steps[i].total_blocks, reference.steps[i].total_blocks);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, NodeRuntimeTest,
+                         ::testing::Values(NodeRuntimeCase{{4, 4}}, NodeRuntimeCase{{8, 8}},
+                                           NodeRuntimeCase{{12, 8}},
+                                           NodeRuntimeCase{{8, 8, 4}},
+                                           NodeRuntimeCase{{8, 4, 4, 4}}));
+
+TEST(NodeProgramTest, SeedRejectsForeignBlocks) {
+  const SuhShinAape algo(TorusShape::make_2d(4, 4));
+  NodeProgram program(extract_local_schedule(algo, 3));
+  EXPECT_THROW(program.seed({Block{4, 0}}), std::invalid_argument);
+  EXPECT_NO_THROW(program.seed({Block{3, 0}, Block{3, 7}}));
+}
+
+}  // namespace
+}  // namespace torex

@@ -1,0 +1,78 @@
+// Tests for the CSV exporters.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/exchange_engine.hpp"
+#include "sim/cost_simulator.hpp"
+#include "sim/trace_export.hpp"
+#include "sim/wormhole.hpp"
+
+namespace torex {
+namespace {
+
+std::size_t count_lines(const std::string& text) {
+  std::size_t lines = 0;
+  for (char c : text) lines += c == '\n';
+  return lines;
+}
+
+TEST(TraceExportTest, StepsCsvHasOneRowPerStep) {
+  const SuhShinAape algo(TorusShape::make_2d(8, 8));
+  ExchangeEngine engine(algo);
+  const ExchangeTrace trace = engine.run_verified();
+  std::ostringstream os;
+  write_steps_csv(os, trace);
+  const std::string text = os.str();
+  EXPECT_EQ(count_lines(text), trace.steps.size() + 1);
+  EXPECT_EQ(text.rfind("phase,step,hops,", 0), 0u);
+}
+
+TEST(TraceExportTest, TransfersCsvMatchesTransferCount) {
+  const SuhShinAape algo(TorusShape::make_2d(8, 8));
+  ExchangeEngine engine(algo);
+  const ExchangeTrace trace = engine.run_verified();
+  std::size_t transfers = 0;
+  for (const auto& step : trace.steps) transfers += step.transfers.size();
+  std::ostringstream os;
+  write_transfers_csv(os, trace);
+  EXPECT_EQ(count_lines(os.str()), transfers + 1);
+}
+
+TEST(TraceExportTest, SeriesCsvRoundNumbers) {
+  std::ostringstream os;
+  write_series_csv(os, "time", {1.5, 2.5, 3.5});
+  const std::string text = os.str();
+  EXPECT_NE(text.find("0,time,1.5"), std::string::npos);
+  EXPECT_NE(text.find("2,time,3.5"), std::string::npos);
+  EXPECT_EQ(count_lines(text), 4u);
+}
+
+TEST(TraceExportTest, WormholeCsvPerMessage) {
+  const Torus torus(TorusShape::make_2d(8, 8));
+  WormholeSimulator sim(torus);
+  WormSpec a;
+  a.src = 0;
+  a.dst = 3;
+  a.flits = 8;
+  WormSpec b;
+  b.src = 8;
+  b.dst = 11;
+  b.flits = 8;
+  const WormholeOutcome out = sim.simulate({a, b});
+  std::ostringstream os;
+  write_wormhole_csv(os, out);
+  EXPECT_EQ(count_lines(os.str()), 3u);
+}
+
+TEST(TraceExportTest, CostCsvSingleRow) {
+  CostBreakdown cost{1.0, 2.0, 3.0, 4.0};
+  std::ostringstream os;
+  write_cost_csv(os, "proposed", cost);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("proposed,1,2,3,4,10"), std::string::npos);
+  EXPECT_EQ(count_lines(text), 2u);
+}
+
+}  // namespace
+}  // namespace torex

@@ -1,0 +1,31 @@
+// Compile-level test: the umbrella header includes cleanly and exposes
+// the version constants plus a representative symbol from each layer.
+#include <gtest/gtest.h>
+
+#include "torex.hpp"
+
+namespace torex {
+namespace {
+
+TEST(UmbrellaTest, VersionConstants) {
+  EXPECT_EQ(kVersionMajor, 1);
+  EXPECT_GE(kVersionMinor, 0);
+  EXPECT_GE(kVersionPatch, 0);
+}
+
+TEST(UmbrellaTest, EveryLayerIsReachable) {
+  const TorusShape shape({4, 4});               // topology
+  const SuhShinAape algo(shape);                // core
+  ExchangeEngine engine(algo);                  // engine
+  const ExchangeTrace trace = engine.run_verified();
+  EXPECT_TRUE(check_trace_contention(algo.torus(), trace).contention_free);  // sim
+  EXPECT_GT(proposed_cost_nd(shape, CostParams::balanced()).total(), 0.0);   // costmodel
+  EXPECT_GT(aape_lower_bounds(shape, CostParams::balanced()).combined(), 0.0);
+  TorusCommunicator comm(shape, CostParams::balanced());                     // runtime
+  EXPECT_EQ(comm.size(), 16);
+  BruckExchange bruck(shape);                    // baselines
+  EXPECT_EQ(bruck.num_steps(), 4);
+}
+
+}  // namespace
+}  // namespace torex

@@ -1,0 +1,170 @@
+// Unit tests for the util module: checked math, tables, PRNG, CLI.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/assert.hpp"
+#include "util/cli.hpp"
+#include "util/math.hpp"
+#include "util/prng.hpp"
+#include "util/table.hpp"
+
+namespace torex {
+namespace {
+
+TEST(MathTest, FloorModHandlesNegatives) {
+  EXPECT_EQ(floor_mod(7, 4), 3);
+  EXPECT_EQ(floor_mod(-1, 4), 3);
+  EXPECT_EQ(floor_mod(-4, 4), 0);
+  EXPECT_EQ(floor_mod(-5, 4), 3);
+  EXPECT_EQ(floor_mod(0, 4), 0);
+  EXPECT_EQ(floor_mod<std::int64_t>(-13, 12), 11);
+}
+
+TEST(MathTest, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 4), 0);
+  EXPECT_EQ(ceil_div(1, 4), 1);
+  EXPECT_EQ(ceil_div(4, 4), 1);
+  EXPECT_EQ(ceil_div(5, 4), 2);
+}
+
+TEST(MathTest, ExactDivChecksRemainder) {
+  EXPECT_EQ(exact_div(12, 4), 3);
+  EXPECT_THROW(exact_div(13, 4), std::logic_error);
+  EXPECT_THROW(exact_div(13, 0), std::logic_error);
+}
+
+TEST(MathTest, IPow) {
+  EXPECT_EQ(ipow(2, 0), 1);
+  EXPECT_EQ(ipow(2, 10), 1024);
+  EXPECT_EQ(ipow(4, 3), 64);
+}
+
+TEST(MathTest, Multiples) {
+  EXPECT_TRUE(is_positive_multiple_of(12, 4));
+  EXPECT_FALSE(is_positive_multiple_of(10, 4));
+  EXPECT_FALSE(is_positive_multiple_of(0, 4));
+  EXPECT_EQ(round_up_to_multiple(10, 4), 12);
+  EXPECT_EQ(round_up_to_multiple(12, 4), 12);
+  EXPECT_EQ(round_up_to_multiple(0, 4), 0);
+}
+
+TEST(MathTest, PowerOfTwo) {
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(64));
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_FALSE(is_power_of_two(12));
+}
+
+TEST(MathTest, RingDeltaPrefersShortSide) {
+  EXPECT_EQ(ring_delta(0, 3, 12), 3);
+  EXPECT_EQ(ring_delta(0, 9, 12), -3);
+  EXPECT_EQ(ring_delta(0, 6, 12), 6);  // tie goes positive
+  EXPECT_EQ(ring_delta(10, 2, 12), 4);
+  EXPECT_EQ(ring_distance(0, 9, 12), 3);
+  EXPECT_EQ(ring_distance(5, 5, 12), 0);
+}
+
+TEST(AssertTest, RequireThrowsInvalidArgument) {
+  EXPECT_THROW(TOREX_REQUIRE(false, "nope"), std::invalid_argument);
+  EXPECT_NO_THROW(TOREX_REQUIRE(true, "fine"));
+}
+
+TEST(AssertTest, CheckThrowsLogicError) {
+  EXPECT_THROW(TOREX_CHECK(false, "nope"), std::logic_error);
+  EXPECT_NO_THROW(TOREX_CHECK(true, "fine"));
+}
+
+TEST(TableTest, ThousandsSeparators) {
+  EXPECT_EQ(with_thousands(0), "0");
+  EXPECT_EQ(with_thousands(999), "999");
+  EXPECT_EQ(with_thousands(1000), "1,000");
+  EXPECT_EQ(with_thousands(1234567), "1,234,567");
+  EXPECT_EQ(with_thousands(-1234567), "-1,234,567");
+}
+
+TEST(TableTest, CompactDoubleTrimsZeros) {
+  EXPECT_EQ(compact_double(1.5), "1.5");
+  EXPECT_EQ(compact_double(2.0), "2");
+  EXPECT_EQ(compact_double(0.1250, 4), "0.125");
+}
+
+TEST(TableTest, RendersAlignedRows) {
+  TextTable t({"name", "value"});
+  t.set_align(0, TextTable::Align::kLeft);
+  t.start_row().cell("alpha").cell(std::int64_t{1000});
+  t.start_row().cell("b").cell(std::int64_t{2});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("1,000"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TableTest, MarkdownHasHeaderRule) {
+  TextTable t({"a", "b"});
+  t.start_row().cell(std::int64_t{1}).cell(std::int64_t{2});
+  std::ostringstream os;
+  t.print_markdown(os);
+  EXPECT_NE(os.str().find("|"), std::string::npos);
+  EXPECT_NE(os.str().find("-"), std::string::npos);
+}
+
+TEST(PrngTest, DeterministicSequences) {
+  SplitMix64 a(42), b(42), c(43);
+  EXPECT_EQ(a.next(), b.next());
+  EXPECT_NE(a.next(), c.next());
+}
+
+TEST(PrngTest, NextBelowInRange) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+  EXPECT_THROW(rng.next_below(0), std::invalid_argument);
+}
+
+TEST(PrngTest, NextDoubleInUnitInterval) {
+  SplitMix64 rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(PrngTest, ShufflePermutes) {
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto original = v;
+  SplitMix64 rng(1);
+  deterministic_shuffle(v, rng);
+  auto sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, original);
+}
+
+TEST(CliTest, ParsesForms) {
+  const char* argv[] = {"prog", "--rows=12", "--cols", "8", "--verbose"};
+  auto flags = CliFlags::parse(5, argv, {"rows", "cols", "verbose", "unused"});
+  EXPECT_EQ(flags.get_int("rows", 0), 12);
+  EXPECT_EQ(flags.get_int("cols", 0), 8);
+  EXPECT_TRUE(flags.get_bool("verbose", false));
+  EXPECT_EQ(flags.get_int("unused", 99), 99);
+  EXPECT_FALSE(flags.has("unused"));
+}
+
+TEST(CliTest, RejectsUnknownFlag) {
+  const char* argv[] = {"prog", "--oops=1"};
+  EXPECT_THROW(CliFlags::parse(2, argv, {"rows"}), std::invalid_argument);
+}
+
+TEST(CliTest, ParsesIntList) {
+  const char* argv[] = {"prog", "--dims=12,8,4"};
+  auto flags = CliFlags::parse(2, argv, {"dims"});
+  EXPECT_EQ(flags.get_int_list("dims", {}), (std::vector<std::int64_t>{12, 8, 4}));
+  EXPECT_EQ(flags.get_int_list("other", {1}), (std::vector<std::int64_t>{1}));
+}
+
+}  // namespace
+}  // namespace torex

@@ -1,0 +1,154 @@
+// torex_verify — exhaustive self-verification sweep.
+//
+//   ./torex_verify [--max-nodes=800] [--max-dims=4] [--flit-level]
+//                  [--layout] [--static-nodes=0]
+//
+// Enumerates every valid torus shape (extents multiples of four, sorted
+// non-increasing) up to the node budget and dimension cap, and runs the
+// full verification stack on each:
+//   * engine execution + AAPE postcondition + phase invariants
+//   * per-step contention check (max channel load must be 1)
+//   * Table 1 count checks (startups, blocks, hops)
+//   * optionally (--layout) the §3.3 layout audit
+//   * optionally (--flit-level) stall-freedom in the wormhole simulator
+//   * optionally (--static-nodes=K) static contention proofs on shapes
+//     up to K nodes that are too large to execute
+// Exits non-zero on the first failure. This is the tool to run after
+// touching the pattern or schedule code on a machine with more budget
+// than CI.
+#include <iostream>
+#include <vector>
+
+#include "core/data_array.hpp"
+#include "core/exchange_engine.hpp"
+#include "sim/contention.hpp"
+#include "sim/wormhole.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace torex;
+
+/// Recursively enumerates sorted multiple-of-four shapes within budget.
+void enumerate(std::vector<std::int32_t>& prefix, std::int64_t nodes_so_far,
+               std::int64_t max_nodes, int max_dims, std::int32_t max_extent,
+               std::vector<std::vector<std::int32_t>>& out) {
+  if (prefix.size() >= 2) out.push_back(prefix);
+  if (static_cast<int>(prefix.size()) == max_dims) return;
+  for (std::int32_t e = 4; e <= max_extent; e += 4) {
+    if (nodes_so_far * e > max_nodes) break;
+    prefix.push_back(e);
+    enumerate(prefix, nodes_so_far * e, max_nodes, max_dims, e, out);
+    prefix.pop_back();
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const CliFlags flags = CliFlags::parse(
+        argc, argv, {"max-nodes", "max-dims", "flit-level", "layout", "static-nodes"});
+    const std::int64_t max_nodes = flags.get_int("max-nodes", 800);
+    const int max_dims = static_cast<int>(flags.get_int("max-dims", 4));
+    const bool flit_level = flags.get_bool("flit-level", false);
+    const bool layout = flags.get_bool("layout", false);
+
+    std::vector<std::vector<std::int32_t>> shapes;
+    {
+      std::vector<std::int32_t> prefix;
+      // First dimension is the largest; enumerate descending extents.
+      for (std::int32_t e = 4; e <= max_nodes; e += 4) {
+        prefix.push_back(e);
+        enumerate(prefix, e, max_nodes, max_dims, e, shapes);
+        prefix.pop_back();
+      }
+    }
+
+    std::cout << "verifying " << shapes.size() << " shapes (<= " << max_nodes
+              << " nodes, <= " << max_dims << " dims)"
+              << (layout ? ", layout audit on" : "")
+              << (flit_level ? ", flit-level on" : "") << "\n";
+
+    std::int64_t checked = 0;
+    for (const auto& extents : shapes) {
+      const TorusShape shape(extents);
+      const SuhShinAape algo(shape);
+      ExchangeEngine engine(algo);
+      const ExchangeTrace trace = engine.run_verified();
+
+      const ContentionReport contention = check_trace_contention(algo.torus(), trace);
+      if (!contention.contention_free) {
+        std::cerr << "FAIL " << shape.to_string() << ": "
+                  << contention.first_conflict.value_or("contention") << '\n';
+        return 1;
+      }
+      const int n = shape.num_dims();
+      const std::int64_t a1 = shape.extent(0);
+      if (trace.num_steps() != n * (a1 / 4 + 1) ||
+          trace.total_hops() != n * (a1 - 1) ||
+          trace.total_max_blocks() * 8 != n * (a1 + 4) * shape.num_nodes()) {
+        std::cerr << "FAIL " << shape.to_string() << ": Table 1 counts diverge\n";
+        return 1;
+      }
+      if (layout) {
+        const LayoutStats stats = run_layout_simulation(algo);
+        if (n == 2 && !stats.fully_contiguous()) {
+          std::cerr << "FAIL " << shape.to_string() << ": 2D layout not contiguous\n";
+          return 1;
+        }
+        const std::int64_t run_bound =
+            n <= 2 ? 1 : (std::int64_t{1} << (n - 2));  // empirical law, see DESIGN.md
+        if (stats.max_runs_per_send > run_bound) {
+          std::cerr << "FAIL " << shape.to_string() << ": send fragmented into "
+                    << stats.max_runs_per_send << " runs (bound " << run_bound << ")\n";
+          return 1;
+        }
+      }
+      if (flit_level) {
+        for (const auto& out : simulate_trace_steps(algo.torus(), trace, 2)) {
+          if (!out.stall_free()) {
+            std::cerr << "FAIL " << shape.to_string() << ": flit-level stall\n";
+            return 1;
+          }
+        }
+      }
+      ++checked;
+      if (checked % 25 == 0) std::cout << "  " << checked << " shapes ok...\n";
+    }
+    std::cout << "all " << checked << " shapes verified\n";
+
+    // Optional second pass: static contention proofs on shapes far too
+    // large to execute (O(N n) per step, no block movement).
+    const std::int64_t static_nodes = flags.get_int("static-nodes", 0);
+    if (static_nodes > 0) {
+      std::vector<std::vector<std::int32_t>> big;
+      {
+        std::vector<std::int32_t> prefix;
+        for (std::int32_t e = 4; e <= static_nodes; e += 4) {
+          prefix.push_back(e);
+          enumerate(prefix, e, static_nodes, max_dims, e, big);
+          prefix.pop_back();
+        }
+      }
+      std::int64_t proved = 0;
+      for (const auto& extents : big) {
+        const TorusShape shape(extents);
+        if (shape.num_nodes() <= max_nodes) continue;  // already executed
+        const SuhShinAape algo(shape);
+        const ContentionReport report = check_schedule_contention_static(algo);
+        if (!report.contention_free) {
+          std::cerr << "FAIL " << shape.to_string() << ": static contention ("
+                    << report.first_conflict.value_or("") << ")\n";
+          return 1;
+        }
+        ++proved;
+      }
+      std::cout << "static contention proof on " << proved << " additional large shapes\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}
