@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_direct_vs_combining.dir/bench_direct_vs_combining.cpp.o"
+  "CMakeFiles/bench_direct_vs_combining.dir/bench_direct_vs_combining.cpp.o.d"
+  "bench_direct_vs_combining"
+  "bench_direct_vs_combining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_direct_vs_combining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fixed_destinations.dir/bench_fixed_destinations.cpp.o"
+  "CMakeFiles/bench_fixed_destinations.dir/bench_fixed_destinations.cpp.o.d"
+  "bench_fixed_destinations"
+  "bench_fixed_destinations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fixed_destinations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

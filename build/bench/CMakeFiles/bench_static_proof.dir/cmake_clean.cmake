@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_static_proof.dir/bench_static_proof.cpp.o"
+  "CMakeFiles/bench_static_proof.dir/bench_static_proof.cpp.o.d"
+  "bench_static_proof"
+  "bench_static_proof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_static_proof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/render_schedule.dir/render_schedule.cpp.o"
+  "CMakeFiles/render_schedule.dir/render_schedule.cpp.o.d"
+  "render_schedule"
+  "render_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/render_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "--dims=8,8")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_matrix_transpose "/root/repo/build/examples/matrix_transpose" "--dims=8,8" "--tile=2")
+set_tests_properties(example_matrix_transpose PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_fft_transpose "/root/repo/build/examples/fft_transpose" "--dims=8,8")
+set_tests_properties(example_fft_transpose PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_schedule_explorer "/root/repo/build/examples/schedule_explorer" "--dims=8,8" "--node=3")
+set_tests_properties(example_schedule_explorer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cost_explorer "/root/repo/build/examples/cost_explorer" "--dims=8,8")
+set_tests_properties(example_cost_explorer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_sample_sort "/root/repo/build/examples/sample_sort" "--dims=8,4" "--keys=64")
+set_tests_properties(example_sample_sort PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_render_schedule "/root/repo/build/examples/render_schedule" "--dims=8,8")
+set_tests_properties(example_render_schedule PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/bruck.cpp" "src/CMakeFiles/torex.dir/baselines/bruck.cpp.o" "gcc" "src/CMakeFiles/torex.dir/baselines/bruck.cpp.o.d"
+  "/root/repo/src/baselines/dimwise.cpp" "src/CMakeFiles/torex.dir/baselines/dimwise.cpp.o" "gcc" "src/CMakeFiles/torex.dir/baselines/dimwise.cpp.o.d"
+  "/root/repo/src/baselines/direct_exchange.cpp" "src/CMakeFiles/torex.dir/baselines/direct_exchange.cpp.o" "gcc" "src/CMakeFiles/torex.dir/baselines/direct_exchange.cpp.o.d"
+  "/root/repo/src/baselines/ring_exchange.cpp" "src/CMakeFiles/torex.dir/baselines/ring_exchange.cpp.o" "gcc" "src/CMakeFiles/torex.dir/baselines/ring_exchange.cpp.o.d"
+  "/root/repo/src/core/aape.cpp" "src/CMakeFiles/torex.dir/core/aape.cpp.o" "gcc" "src/CMakeFiles/torex.dir/core/aape.cpp.o.d"
+  "/root/repo/src/core/data_array.cpp" "src/CMakeFiles/torex.dir/core/data_array.cpp.o" "gcc" "src/CMakeFiles/torex.dir/core/data_array.cpp.o.d"
+  "/root/repo/src/core/exchange_engine.cpp" "src/CMakeFiles/torex.dir/core/exchange_engine.cpp.o" "gcc" "src/CMakeFiles/torex.dir/core/exchange_engine.cpp.o.d"
+  "/root/repo/src/core/pattern.cpp" "src/CMakeFiles/torex.dir/core/pattern.cpp.o" "gcc" "src/CMakeFiles/torex.dir/core/pattern.cpp.o.d"
+  "/root/repo/src/core/schedule_io.cpp" "src/CMakeFiles/torex.dir/core/schedule_io.cpp.o" "gcc" "src/CMakeFiles/torex.dir/core/schedule_io.cpp.o.d"
+  "/root/repo/src/core/schedule_stats.cpp" "src/CMakeFiles/torex.dir/core/schedule_stats.cpp.o" "gcc" "src/CMakeFiles/torex.dir/core/schedule_stats.cpp.o.d"
+  "/root/repo/src/core/virtual_torus.cpp" "src/CMakeFiles/torex.dir/core/virtual_torus.cpp.o" "gcc" "src/CMakeFiles/torex.dir/core/virtual_torus.cpp.o.d"
+  "/root/repo/src/costmodel/lower_bounds.cpp" "src/CMakeFiles/torex.dir/costmodel/lower_bounds.cpp.o" "gcc" "src/CMakeFiles/torex.dir/costmodel/lower_bounds.cpp.o.d"
+  "/root/repo/src/costmodel/models.cpp" "src/CMakeFiles/torex.dir/costmodel/models.cpp.o" "gcc" "src/CMakeFiles/torex.dir/costmodel/models.cpp.o.d"
+  "/root/repo/src/runtime/communicator.cpp" "src/CMakeFiles/torex.dir/runtime/communicator.cpp.o" "gcc" "src/CMakeFiles/torex.dir/runtime/communicator.cpp.o.d"
+  "/root/repo/src/runtime/node_program.cpp" "src/CMakeFiles/torex.dir/runtime/node_program.cpp.o" "gcc" "src/CMakeFiles/torex.dir/runtime/node_program.cpp.o.d"
+  "/root/repo/src/runtime/parallel_engine.cpp" "src/CMakeFiles/torex.dir/runtime/parallel_engine.cpp.o" "gcc" "src/CMakeFiles/torex.dir/runtime/parallel_engine.cpp.o.d"
+  "/root/repo/src/sim/contention.cpp" "src/CMakeFiles/torex.dir/sim/contention.cpp.o" "gcc" "src/CMakeFiles/torex.dir/sim/contention.cpp.o.d"
+  "/root/repo/src/sim/cost_simulator.cpp" "src/CMakeFiles/torex.dir/sim/cost_simulator.cpp.o" "gcc" "src/CMakeFiles/torex.dir/sim/cost_simulator.cpp.o.d"
+  "/root/repo/src/sim/trace_export.cpp" "src/CMakeFiles/torex.dir/sim/trace_export.cpp.o" "gcc" "src/CMakeFiles/torex.dir/sim/trace_export.cpp.o.d"
+  "/root/repo/src/sim/wormhole.cpp" "src/CMakeFiles/torex.dir/sim/wormhole.cpp.o" "gcc" "src/CMakeFiles/torex.dir/sim/wormhole.cpp.o.d"
+  "/root/repo/src/topology/group.cpp" "src/CMakeFiles/torex.dir/topology/group.cpp.o" "gcc" "src/CMakeFiles/torex.dir/topology/group.cpp.o.d"
+  "/root/repo/src/topology/shape.cpp" "src/CMakeFiles/torex.dir/topology/shape.cpp.o" "gcc" "src/CMakeFiles/torex.dir/topology/shape.cpp.o.d"
+  "/root/repo/src/topology/torus.cpp" "src/CMakeFiles/torex.dir/topology/torus.cpp.o" "gcc" "src/CMakeFiles/torex.dir/topology/torus.cpp.o.d"
+  "/root/repo/src/util/cli.cpp" "src/CMakeFiles/torex.dir/util/cli.cpp.o" "gcc" "src/CMakeFiles/torex.dir/util/cli.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/torex.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/torex.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

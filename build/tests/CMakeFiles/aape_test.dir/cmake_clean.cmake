@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aape_test.dir/aape_test.cpp.o"
+  "CMakeFiles/aape_test.dir/aape_test.cpp.o.d"
+  "aape_test"
+  "aape_test.pdb"
+  "aape_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aape_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_array_test.dir/data_array_test.cpp.o"
+  "CMakeFiles/data_array_test.dir/data_array_test.cpp.o.d"
+  "data_array_test"
+  "data_array_test.pdb"
+  "data_array_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_array_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

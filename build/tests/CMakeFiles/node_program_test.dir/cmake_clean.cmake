@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/node_program_test.dir/node_program_test.cpp.o"
+  "CMakeFiles/node_program_test.dir/node_program_test.cpp.o.d"
+  "node_program_test"
+  "node_program_test.pdb"
+  "node_program_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/node_program_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

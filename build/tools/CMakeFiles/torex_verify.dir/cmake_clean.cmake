@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/torex_verify.dir/torex_verify.cpp.o"
+  "CMakeFiles/torex_verify.dir/torex_verify.cpp.o.d"
+  "torex_verify"
+  "torex_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/torex_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
