@@ -1,6 +1,7 @@
 #include "core/schedule_io.hpp"
 
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <sstream>
 
@@ -27,15 +28,35 @@ PhaseKind kind_from(const std::string& name) {
 }
 
 std::string dir_token(const Direction& d) {
-  return (d.sign == Sign::kPositive ? "+" : "-") + std::to_string(d.dim);
+  std::string out(1, d.sign == Sign::kPositive ? '+' : '-');
+  out += std::to_string(d.dim);
+  return out;
 }
 
-Direction dir_from(const std::string& token) {
+/// Strict integer parse: the whole token must be a number that fits an
+/// int. Raises std::invalid_argument (never std::out_of_range, never a
+/// silent truncation) so malformed input fails loudly and uniformly.
+int parse_int(const std::string& token, const char* what) {
+  std::size_t consumed = 0;
+  int value = 0;
+  try {
+    value = std::stoi(token, &consumed);
+  } catch (const std::exception&) {
+    throw std::invalid_argument(std::string("malformed ") + what + ": '" + token + "'");
+  }
+  TOREX_REQUIRE(consumed == token.size(),
+                std::string("trailing characters in ") + what + ": '" + token + "'");
+  return value;
+}
+
+Direction dir_from(const std::string& token, int num_dims) {
   TOREX_REQUIRE(token.size() >= 2 && (token[0] == '+' || token[0] == '-'),
                 "malformed direction token: " + token);
   Direction d;
   d.sign = token[0] == '+' ? Sign::kPositive : Sign::kNegative;
-  d.dim = std::stoi(token.substr(1));
+  d.dim = parse_int(token.substr(1), "direction dimension");
+  TOREX_REQUIRE(d.dim >= 0 && d.dim < num_dims,
+                "direction dimension out of range in token: " + token);
   return d;
 }
 
@@ -91,7 +112,9 @@ ScheduleDescription read_schedule(std::istream& is) {
     std::stringstream dims(shape_text);
     std::string token;
     while (std::getline(dims, token, 'x')) {
-      out.extents.push_back(std::stoi(token));
+      const int extent = parse_int(token, "shape extent");
+      TOREX_REQUIRE(extent >= 1, "shape extent must be positive: " + token);
+      out.extents.push_back(extent);
     }
     TOREX_REQUIRE(!out.extents.empty(), "empty shape");
   }
@@ -112,7 +135,12 @@ ScheduleDescription read_schedule(std::istream& is) {
   }
 
   std::int64_t num_nodes = 1;
-  for (auto e : out.extents) num_nodes *= e;
+  for (auto e : out.extents) {
+    num_nodes *= e;
+    TOREX_REQUIRE(num_nodes <= std::numeric_limits<Rank>::max(),
+                  "shape node count overflows the rank type");
+  }
+  const int num_dims = static_cast<int>(out.extents.size());
 
   while (next_line(is, line)) {
     std::istringstream ss(line);
@@ -123,10 +151,12 @@ ScheduleDescription read_schedule(std::istream& is) {
       std::string kw_kind, kind_text, kw_steps, kw_hops;
       int steps = 0, hops = 0;
       ss >> index >> kw_kind >> kind_text >> kw_steps >> steps >> kw_hops >> hops;
-      TOREX_REQUIRE(kw_kind == "kind" && kw_steps == "steps" && kw_hops == "hops",
+      TOREX_REQUIRE(!ss.fail() && kw_kind == "kind" && kw_steps == "steps" && kw_hops == "hops",
                     "malformed phase line: " + line);
       TOREX_REQUIRE(index == static_cast<int>(out.phases.size()) + 1,
                     "phases must be listed in order");
+      TOREX_REQUIRE(steps >= 0, "phase step count must be non-negative: " + line);
+      TOREX_REQUIRE(hops >= 1, "phase hop count must be positive: " + line);
       ScheduleDescription::Phase phase;
       phase.kind = kind_from(kind_text);
       phase.steps = steps;
@@ -135,13 +165,19 @@ ScheduleDescription read_schedule(std::istream& is) {
     } else if (keyword == "dirs") {
       int phase = 0, step = 0;
       ss >> phase >> step;
+      TOREX_REQUIRE(!ss.fail(), "malformed dirs line: " + line);
       TOREX_REQUIRE(phase >= 1 && phase <= static_cast<int>(out.phases.size()),
                     "dirs line references unknown phase");
       auto& ph = out.phases[static_cast<std::size_t>(phase - 1)];
+      const bool scatter = ph.kind == PhaseKind::kScatter;
+      // Scatter phases serialize step 0 (directions step-independent);
+      // exchange phases one line per 1-based step.
+      TOREX_REQUIRE(scatter ? step == 0 : (step >= 1 && step <= ph.steps),
+                    "dirs step index out of range for its phase: " + line);
       std::vector<Direction> dirs;
       dirs.reserve(static_cast<std::size_t>(num_nodes));
       std::string token;
-      while (ss >> token) dirs.push_back(dir_from(token));
+      while (ss >> token) dirs.push_back(dir_from(token, num_dims));
       TOREX_REQUIRE(static_cast<std::int64_t>(dirs.size()) == num_nodes,
                     "dirs line has wrong node count");
       const std::size_t slot = step == 0 ? 0 : static_cast<std::size_t>(step - 1);

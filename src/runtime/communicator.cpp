@@ -1,6 +1,9 @@
 #include "runtime/communicator.hpp"
 
 #include <limits>
+#include <sstream>
+
+#include "topology/torus.hpp"
 
 namespace torex {
 
@@ -14,6 +17,15 @@ std::string to_string(AlltoallAlgorithm algorithm) {
     case AlltoallAlgorithm::kBruck: return "bruck";
   }
   TOREX_UNREACHABLE();
+}
+
+std::string ExchangeOutcome::summary() const {
+  std::ostringstream os;
+  os << "algorithm=" << torex::to_string(algorithm) << " policy=" << torex::to_string(policy)
+     << " attempts=" << attempts << " retries=" << retries << " waited=" << waited_ticks
+     << " remapped=" << remapped_nodes << " rerouted=" << rerouted_messages
+     << " extra_hops=" << extra_hops << (degraded ? " (degraded)" : "");
+  return os.str();
 }
 
 TorusCommunicator::TorusCommunicator(TorusShape shape, CostParams params)
@@ -77,6 +89,50 @@ CostBreakdown TorusCommunicator::estimate(AlltoallAlgorithm algorithm,
     }
   }
   TOREX_UNREACHABLE();
+}
+
+ExchangeOutcome TorusCommunicator::plan_resilient(const FaultModel& faults,
+                                                  const ResilienceOptions& options,
+                                                  std::int64_t block_bytes) const {
+  TOREX_REQUIRE(block_bytes >= 1, "block size must be positive");
+  ExchangeOutcome out;
+  out.requested = options.algorithm;
+  out.requested_policy = options.policy;
+  out.run_tick = options.start_tick;
+  const AlltoallAlgorithm chosen =
+      options.algorithm == AlltoallAlgorithm::kAuto ? select(block_bytes) : options.algorithm;
+  out.algorithm = chosen;
+  if (faults.empty()) {
+    out.modeled_time = estimate(chosen, block_bytes).total();
+    out.note = "healthy network; no recovery needed";
+    return out;
+  }
+
+  const Torus torus(shape_);
+  const SuhShinAape* schedule =
+      (chosen == AlltoallAlgorithm::kSuhShin && schedule_.has_value()) ? &*schedule_ : nullptr;
+  const RecoveryDecision decision =
+      decide_recovery(torus, schedule, faults, options.policy, options.backoff,
+                      options.start_tick);
+  out.policy = decision.policy;
+  out.attempts = decision.attempts;
+  out.retries = decision.retries;
+  out.waited_ticks = decision.waited_ticks;
+  out.run_tick = decision.run_tick;
+  out.remapped_nodes = decision.plan.remapped_nodes;
+  out.rerouted_messages = decision.plan.rerouted_messages;
+  out.extra_hops = decision.plan.extra_hops;
+  out.note = decision.note.empty() ? "schedule clean under faults" : decision.note;
+  if (decision.policy == RecoveryPolicy::kFallbackDirect) {
+    out.algorithm = AlltoallAlgorithm::kDirect;
+  }
+  out.degraded = decision.policy == RecoveryPolicy::kRemap ||
+                 decision.policy == RecoveryPolicy::kFallbackDirect;
+  // Detours price as extra propagation on the paper's model; waiting
+  // out transient faults is reported in ticks (waited_ticks), not here.
+  out.modeled_time = estimate(out.algorithm, block_bytes).total() +
+                     static_cast<double>(out.extra_hops) * params_.t_l;
+  return out;
 }
 
 AlltoallAlgorithm TorusCommunicator::select(std::int64_t block_bytes) const {

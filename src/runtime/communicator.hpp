@@ -26,7 +26,9 @@
 #include "core/payload_exchange.hpp"
 #include "core/virtual_torus.hpp"
 #include "costmodel/models.hpp"
+#include "runtime/recovery.hpp"
 #include "sim/cost_simulator.hpp"
+#include "sim/fault_model.hpp"
 
 namespace torex {
 
@@ -41,6 +43,38 @@ enum class AlltoallAlgorithm {
 };
 
 std::string to_string(AlltoallAlgorithm algorithm);
+
+/// What a (possibly fault-recovered) exchange actually did. Returned by
+/// alltoall_resilient instead of a bare throw: the caller learns which
+/// algorithm moved the data, which recovery policy ran, and what the
+/// recovery cost (retries, waits, remaps, detours).
+struct ExchangeOutcome {
+  AlltoallAlgorithm requested = AlltoallAlgorithm::kAuto;
+  AlltoallAlgorithm algorithm = AlltoallAlgorithm::kAuto;  ///< what actually ran
+  RecoveryPolicy requested_policy = RecoveryPolicy::kAuto;
+  RecoveryPolicy policy = RecoveryPolicy::kNone;  ///< recovery path that ran (kNone = healthy)
+  int attempts = 1;             ///< fault audits performed, including the first
+  int retries = 0;              ///< backoff waits taken
+  std::int64_t waited_ticks = 0;
+  std::int64_t run_tick = 0;    ///< fault tick the exchange executed at
+  bool degraded = false;        ///< realized something other than the healthy plan
+  std::int64_t remapped_nodes = 0;
+  std::int64_t rerouted_messages = 0;
+  std::int64_t extra_hops = 0;  ///< detour hops added over the healthy routes
+  double modeled_time = 0.0;    ///< modeled completion time of what ran
+  std::string note;             ///< human-readable recovery chain
+
+  std::string summary() const;
+};
+
+/// Options for the fault-aware alltoall entry point.
+struct ResilienceOptions {
+  AlltoallAlgorithm algorithm = AlltoallAlgorithm::kAuto;
+  RecoveryPolicy policy = RecoveryPolicy::kAuto;
+  BackoffConfig backoff{};
+  std::int64_t start_tick = 0;   ///< fault tick the first attempt starts at
+  std::int64_t block_bytes = 0;  ///< 0: use sizeof(T)
+};
 
 /// Collective context bound to one torus and one parameter set.
 class TorusCommunicator {
@@ -149,6 +183,31 @@ class TorusCommunicator {
     }
     return recv;
   }
+
+  /// Fault-aware all-to-all. Audits the chosen schedule against
+  /// `faults` and, when impacted, recovers per `options.policy`
+  /// (retry/backoff for transient faults, degraded remap of the
+  /// Suh-Shin schedule, or the fault-tolerant direct fallback) instead
+  /// of throwing. `outcome` reports what ran; the returned permutation
+  /// is identical to the healthy alltoall. Throws FaultedExchangeError
+  /// only when recovery is disabled (RecoveryPolicy::kNone) or the
+  /// faults disconnect the live nodes.
+  template <typename T>
+  std::vector<std::vector<T>> alltoall_resilient(const std::vector<std::vector<T>>& send,
+                                                 const FaultModel& faults,
+                                                 ExchangeOutcome& outcome,
+                                                 const ResilienceOptions& options = {}) const {
+    const std::int64_t bytes =
+        options.block_bytes > 0 ? options.block_bytes : static_cast<std::int64_t>(sizeof(T));
+    outcome = plan_resilient(faults, options, bytes);
+    return alltoall(send, outcome.algorithm, bytes, nullptr);
+  }
+
+  /// Planning half of alltoall_resilient: audit + recovery decision +
+  /// pricing, no data movement. Exposed for tools and benches that
+  /// compare policies without running payloads.
+  ExchangeOutcome plan_resilient(const FaultModel& faults, const ResilienceOptions& options,
+                                 std::int64_t block_bytes) const;
 
  private:
   TorusShape shape_;

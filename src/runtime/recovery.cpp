@@ -1,0 +1,351 @@
+#include "runtime/recovery.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace torex {
+
+std::string to_string(RecoveryPolicy policy) {
+  switch (policy) {
+    case RecoveryPolicy::kNone: return "none";
+    case RecoveryPolicy::kRetryBackoff: return "retry-backoff";
+    case RecoveryPolicy::kRemap: return "remap";
+    case RecoveryPolicy::kFallbackDirect: return "fallback-direct";
+    case RecoveryPolicy::kAuto: return "auto";
+  }
+  TOREX_UNREACHABLE();
+}
+
+std::int64_t backoff_wait(const BackoffConfig& config, int attempt) {
+  TOREX_REQUIRE(attempt >= 1, "backoff attempts are 1-based");
+  TOREX_REQUIRE(config.base_ticks >= 1 && config.max_ticks >= config.base_ticks,
+                "backoff ticks must satisfy 1 <= base <= max");
+  // Doubling overflows past 62 shifts; the cap applies long before.
+  const int shift = std::min(attempt - 1, 62);
+  const std::int64_t uncapped = config.base_ticks <= (config.max_ticks >> shift)
+                                    ? config.base_ticks << shift
+                                    : config.max_ticks;
+  return std::min(uncapped, config.max_ticks);
+}
+
+FaultedExchangeError::FaultedExchangeError(const std::string& what, FaultImpactReport report)
+    : std::runtime_error(report.first_impact
+                             ? what + " — first impact: " + report.first_impact->description
+                             : what),
+      report_(std::move(report)) {}
+
+FaultImpactReport audit_direct_exchange_faults(const Torus& torus, const FaultModel& faults,
+                                               std::int64_t tick) {
+  const TorusShape& shape = torus.shape();
+  FaultImpactReport report;
+  report.audited_steps = 1;
+  if (faults.empty()) return report;
+  std::vector<ChannelId> path;
+  bool impacted = false;
+  for (Rank p = 0; p < shape.num_nodes(); ++p) {
+    for (Rank q = 0; q < shape.num_nodes(); ++q) {
+      if (p == q) continue;
+      std::optional<FaultSpec> hit;
+      if (faults.node_failed(p, tick) || faults.node_failed(q, tick)) {
+        const Rank dead = faults.node_failed(p, tick) ? p : q;
+        for (const auto& spec : faults.specs()) {
+          if (spec.kind == FaultKind::kNode && spec.node == dead && spec.active_at(tick)) {
+            hit = spec;
+            break;
+          }
+        }
+      }
+      if (!hit) {
+        path.clear();
+        torus.dimension_ordered_path(p, q, path);
+        for (ChannelId id : path) {
+          hit = faults.find_channel_fault(torus, id, tick);
+          if (hit) break;
+        }
+      }
+      if (!hit) continue;
+      ++report.impacted_messages;
+      impacted = true;
+      if (report.impacts.size() < FaultImpactReport::kMaxRecordedImpacts) {
+        FaultImpact impact;
+        impact.phase = 0;
+        impact.step = 0;
+        impact.tick = tick;
+        impact.src = p;
+        impact.dst = q;
+        impact.fault = *hit;
+        std::ostringstream os;
+        os << "direct message " << p << " -> " << q << " (tick " << tick << ") broken by "
+           << hit->describe(torus);
+        impact.description = os.str();
+        if (!report.first_impact) report.first_impact = impact;
+        report.impacts.push_back(std::move(impact));
+      }
+    }
+  }
+  if (impacted) report.impacted_steps = 1;
+  return report;
+}
+
+namespace {
+
+/// Host map: identity for live nodes; failed nodes are hosted by their
+/// nearest live node (immediate neighbors first, direction scan order,
+/// then global nearest-by-distance as a last resort). Returns nullopt
+/// when no node is live.
+std::optional<std::vector<Rank>> build_hosts(const Torus& torus, const FaultModel& faults,
+                                             std::int64_t tick, std::int64_t& remapped,
+                                             std::int64_t& live_count) {
+  const TorusShape& shape = torus.shape();
+  const Rank N = shape.num_nodes();
+  std::vector<char> dead(static_cast<std::size_t>(N), 0);
+  live_count = 0;
+  for (Rank r = 0; r < N; ++r) {
+    dead[static_cast<std::size_t>(r)] = faults.node_relevant_failed(r, tick) ? 1 : 0;
+    if (!dead[static_cast<std::size_t>(r)]) ++live_count;
+  }
+  if (live_count == 0) return std::nullopt;
+
+  std::vector<Rank> host(static_cast<std::size_t>(N));
+  remapped = 0;
+  for (Rank r = 0; r < N; ++r) {
+    if (!dead[static_cast<std::size_t>(r)]) {
+      host[static_cast<std::size_t>(r)] = r;
+      continue;
+    }
+    Rank chosen = -1;
+    for (int d = 0; d < shape.num_dims() && chosen < 0; ++d) {
+      for (Sign sign : {Sign::kPositive, Sign::kNegative}) {
+        const Rank n = torus.neighbor(r, Direction{d, sign});
+        if (!dead[static_cast<std::size_t>(n)]) {
+          chosen = n;
+          break;
+        }
+      }
+    }
+    if (chosen < 0) {
+      std::int64_t best = std::numeric_limits<std::int64_t>::max();
+      for (Rank n = 0; n < N; ++n) {
+        if (dead[static_cast<std::size_t>(n)]) continue;
+        const std::int64_t dist = torus.distance(r, n);
+        if (dist < best) {
+          best = dist;
+          chosen = n;
+        }
+      }
+    }
+    host[static_cast<std::size_t>(r)] = chosen;
+    ++remapped;
+  }
+  return host;
+}
+
+/// True when every channel of the straight path is free of relevant
+/// faults at `tick`.
+bool straight_path_healthy(const Torus& torus, const FaultModel& faults, Rank src,
+                           Direction dir, std::int64_t hops, std::int64_t tick,
+                           std::vector<ChannelId>& scratch) {
+  scratch.clear();
+  torus.straight_path(src, dir, hops, scratch);
+  for (ChannelId id : scratch) {
+    if (faults.channel_relevant_failed(torus, id, tick)) return false;
+  }
+  return true;
+}
+
+/// Memoized fault-avoiding route length between realization endpoints.
+class RerouteCache {
+ public:
+  RerouteCache(const Torus& torus, const FaultModel& faults, std::int64_t tick)
+      : torus_(torus), faults_(faults), tick_(tick) {}
+
+  /// Hop count of the detour, or nullopt when disconnected.
+  std::optional<std::int64_t> hops(Rank a, Rank b) {
+    const auto key = std::make_pair(a, b);
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+    const auto path = route_around_faults(torus_, faults_, a, b, tick_);
+    const std::optional<std::int64_t> len =
+        path ? std::optional<std::int64_t>(static_cast<std::int64_t>(path->size()))
+             : std::nullopt;
+    cache_.emplace(key, len);
+    return len;
+  }
+
+ private:
+  const Torus& torus_;
+  const FaultModel& faults_;
+  std::int64_t tick_;
+  std::map<std::pair<Rank, Rank>, std::optional<std::int64_t>> cache_;
+};
+
+}  // namespace
+
+std::optional<DegradedPlan> plan_degraded_schedule(const Torus& torus, const SuhShinAape& algo,
+                                                   const FaultModel& faults,
+                                                   std::int64_t tick) {
+  const TorusShape& shape = torus.shape();
+  DegradedPlan plan;
+  auto hosts = build_hosts(torus, faults, tick, plan.remapped_nodes, plan.live_nodes);
+  if (!hosts) return std::nullopt;
+  plan.host = std::move(*hosts);
+
+  RerouteCache reroutes(torus, faults, tick);
+  std::vector<ChannelId> scratch;
+  for (int phase = 1; phase <= algo.num_phases(); ++phase) {
+    const int hops = algo.hops_per_step(phase);
+    for (int step = 1; step <= algo.steps_in_phase(phase); ++step) {
+      for (Rank node = 0; node < shape.num_nodes(); ++node) {
+        const Direction dir = algo.direction(node, phase, step);
+        if (algo.phase_kind(phase) == PhaseKind::kScatter && shape.extent(dir.dim) == 4) {
+          continue;
+        }
+        const Rank partner = algo.partner(node, phase, step);
+        const Rank a = plan.host[static_cast<std::size_t>(node)];
+        const Rank b = plan.host[static_cast<std::size_t>(partner)];
+        if (a == b) {
+          ++plan.local_messages;
+          continue;
+        }
+        if (a == node && b == partner &&
+            straight_path_healthy(torus, faults, node, dir, hops, tick, scratch)) {
+          continue;  // scheduled route survives as-is
+        }
+        const auto detour = reroutes.hops(a, b);
+        if (!detour) return std::nullopt;
+        ++plan.rerouted_messages;
+        plan.extra_hops += std::max<std::int64_t>(0, *detour - hops);
+      }
+    }
+  }
+  return plan;
+}
+
+DegradedPlan plan_direct_fallback(const Torus& torus, const FaultModel& faults,
+                                  std::int64_t tick) {
+  const TorusShape& shape = torus.shape();
+  DegradedPlan plan;
+  auto hosts = build_hosts(torus, faults, tick, plan.remapped_nodes, plan.live_nodes);
+  if (!hosts) {
+    throw FaultedExchangeError("all nodes failed; no fallback exists",
+                               audit_direct_exchange_faults(torus, faults, tick));
+  }
+  plan.host = std::move(*hosts);
+
+  RerouteCache reroutes(torus, faults, tick);
+  std::vector<ChannelId> path;
+  for (Rank p = 0; p < shape.num_nodes(); ++p) {
+    for (Rank q = 0; q < shape.num_nodes(); ++q) {
+      if (p == q) continue;
+      const Rank a = plan.host[static_cast<std::size_t>(p)];
+      const Rank b = plan.host[static_cast<std::size_t>(q)];
+      if (a == b) {
+        ++plan.local_messages;
+        continue;
+      }
+      path.clear();
+      const std::int64_t hops = torus.dimension_ordered_path(a, b, path);
+      bool healthy = true;
+      for (ChannelId id : path) {
+        if (faults.channel_relevant_failed(torus, id, tick)) {
+          healthy = false;
+          break;
+        }
+      }
+      if (healthy) continue;
+      const auto detour = reroutes.hops(a, b);
+      if (!detour) {
+        throw FaultedExchangeError("faults disconnect the live nodes; no fallback route",
+                                   audit_direct_exchange_faults(torus, faults, tick));
+      }
+      ++plan.rerouted_messages;
+      plan.extra_hops += std::max<std::int64_t>(0, *detour - hops);
+    }
+  }
+  return plan;
+}
+
+RecoveryDecision decide_recovery(const Torus& torus, const SuhShinAape* schedule,
+                                 const FaultModel& faults, RecoveryPolicy requested,
+                                 const BackoffConfig& backoff, std::int64_t start_tick) {
+  TOREX_REQUIRE(start_tick >= 0, "start tick must be non-negative");
+  TOREX_REQUIRE(backoff.max_attempts >= 0, "backoff attempt budget must be non-negative");
+
+  const auto audit = [&](std::int64_t tick) {
+    return schedule != nullptr ? audit_schedule_faults(*schedule, faults, tick)
+                               : audit_direct_exchange_faults(torus, faults, tick);
+  };
+
+  RecoveryDecision decision;
+  decision.run_tick = start_tick;
+  FaultImpactReport report = audit(start_tick);
+  if (report.clean()) return decision;  // policy kNone: nothing to recover from
+
+  decision.blocking = report.first_impact;
+  std::ostringstream note;
+  note << "audit at tick " << start_tick << ": " << report.impacted_messages
+       << " impacted messages over " << report.impacted_steps << " steps";
+
+  if (requested == RecoveryPolicy::kNone) {
+    throw FaultedExchangeError("exchange impacted by faults and recovery is disabled",
+                               std::move(report));
+  }
+
+  // Stage 1: retry while the faults may heal. kAuto skips the stage
+  // when a permanent fault makes waiting pointless.
+  const bool try_retry = requested == RecoveryPolicy::kRetryBackoff ||
+                         (requested == RecoveryPolicy::kAuto && !faults.any_permanent());
+  if (try_retry) {
+    std::int64_t tick = start_tick;
+    for (int attempt = 1; attempt <= backoff.max_attempts; ++attempt) {
+      const std::int64_t wait = backoff_wait(backoff, attempt);
+      tick += wait;
+      decision.waited_ticks += wait;
+      decision.retries = attempt;
+      ++decision.attempts;
+      report = audit(tick);
+      if (report.clean()) {
+        decision.policy = RecoveryPolicy::kRetryBackoff;
+        decision.run_tick = tick;
+        note << "; healed after " << attempt << " retries (waited " << decision.waited_ticks
+             << " ticks)";
+        decision.note = note.str();
+        return decision;
+      }
+    }
+    decision.run_tick = tick;  // the waits happened; degrade from here
+    note << "; retry budget exhausted after " << decision.retries << " retries (waited "
+         << decision.waited_ticks << " ticks)";
+  }
+
+  // Stage 2: degraded realization of the same schedule.
+  const bool try_remap = schedule != nullptr && requested != RecoveryPolicy::kFallbackDirect;
+  if (try_remap) {
+    auto plan = plan_degraded_schedule(torus, *schedule, faults, decision.run_tick);
+    if (plan) {
+      decision.policy = RecoveryPolicy::kRemap;
+      decision.plan = std::move(*plan);
+      note << "; remapped realization: " << decision.plan.remapped_nodes
+           << " nodes hosted elsewhere, " << decision.plan.rerouted_messages
+           << " messages rerouted (+" << decision.plan.extra_hops << " hops)";
+      decision.note = note.str();
+      return decision;
+    }
+    note << "; remap unroutable";
+  }
+
+  // Stage 3: fault-tolerant direct fallback (throws when disconnected).
+  decision.plan = plan_direct_fallback(torus, faults, decision.run_tick);
+  decision.policy = RecoveryPolicy::kFallbackDirect;
+  note << "; direct fallback: " << decision.plan.remapped_nodes << " nodes hosted elsewhere, "
+       << decision.plan.rerouted_messages << " pairs rerouted (+" << decision.plan.extra_hops
+       << " hops)";
+  decision.note = note.str();
+  return decision;
+}
+
+}  // namespace torex

@@ -1,0 +1,131 @@
+// Degraded-mode recovery planning for faulted exchanges.
+//
+// When a fault audit (sim/fault_model.hpp) reports that a schedule
+// would break, the communicator does not throw — it recovers, and this
+// module decides how:
+//
+//   kRetryBackoff   wait with bounded exponential backoff while
+//                   transient faults heal, re-auditing after each wait;
+//   kRemap          keep the Suh-Shin schedule but realize it
+//                   degraded: failed nodes are hosted on a live
+//                   neighbor (the §6 virtual-node idea applied to
+//                   faults) and any message whose scheduled straight
+//                   path crosses a fault is rerouted around it (BFS on
+//                   the healthy channel graph);
+//   kFallbackDirect gracefully degrade to a fault-tolerant direct
+//                   exchange: every pair routed independently around
+//                   the faults.
+//
+// Policies degrade along a chain instead of throwing: retry exhausts
+// its budget and falls through to remap, remap falls through to the
+// direct fallback, and only a physically disconnected network raises
+// FaultedExchangeError. kNone requests the old strict behaviour
+// (throw on any impact). The communicator surfaces what happened in an
+// ExchangeOutcome (runtime/communicator.hpp).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/aape.hpp"
+#include "sim/fault_model.hpp"
+#include "topology/torus.hpp"
+
+namespace torex {
+
+/// How the communicator should react to an impacted schedule.
+enum class RecoveryPolicy {
+  kNone,            ///< no recovery: throw FaultedExchangeError on impact
+  kRetryBackoff,    ///< retry with exponential backoff, then degrade
+  kRemap,           ///< degraded realization of the same schedule
+  kFallbackDirect,  ///< fault-tolerant direct exchange
+  kAuto,            ///< retry when all faults are transient, else remap
+};
+
+std::string to_string(RecoveryPolicy policy);
+
+/// Bounded exponential backoff: attempt a waits
+/// min(base_ticks * 2^(a-1), max_ticks) ticks before re-auditing.
+struct BackoffConfig {
+  int max_attempts = 8;
+  std::int64_t base_ticks = 1;
+  std::int64_t max_ticks = 1 << 16;
+};
+
+/// Ticks attempt `attempt` (1-based) waits under `config`.
+std::int64_t backoff_wait(const BackoffConfig& config, int attempt);
+
+/// Degraded realization of an exchange on a faulted torus.
+struct DegradedPlan {
+  /// Physical realization rank per logical rank; host[r] == r for live
+  /// nodes, a live neighbor for failed ones.
+  std::vector<Rank> host;
+  std::int64_t remapped_nodes = 0;
+  /// Messages whose realized route differs from the scheduled one.
+  std::int64_t rerouted_messages = 0;
+  /// Messages that became host-local (both endpoints on one host).
+  std::int64_t local_messages = 0;
+  /// Extra hops the detours add over the scheduled routes.
+  std::int64_t extra_hops = 0;
+  std::int64_t live_nodes = 0;
+};
+
+/// The decision decide_recovery reached.
+struct RecoveryDecision {
+  RecoveryPolicy policy = RecoveryPolicy::kNone;  ///< what actually ran
+  int attempts = 1;   ///< audits performed, including the first
+  int retries = 0;    ///< backoff waits taken
+  std::int64_t waited_ticks = 0;
+  std::int64_t run_tick = 0;  ///< tick the exchange executes at
+  DegradedPlan plan;          ///< filled for kRemap / kFallbackDirect
+  /// First impact of the original audit (empty when the schedule was
+  /// clean from the start).
+  std::optional<FaultImpact> blocking;
+  std::string note;  ///< human-readable recovery chain
+};
+
+/// Raised when recovery is impossible (network disconnected) or
+/// disabled (RecoveryPolicy::kNone) while the audit reports impacts.
+class FaultedExchangeError : public std::runtime_error {
+ public:
+  FaultedExchangeError(const std::string& what, FaultImpactReport report);
+
+  const FaultImpactReport& report() const { return report_; }
+
+ private:
+  FaultImpactReport report_;
+};
+
+/// Audits the direct (all ordered pairs, dimension-ordered routes)
+/// traffic pattern against the fault model at one tick. Used when no
+/// Suh-Shin schedule is available to audit.
+FaultImpactReport audit_direct_exchange_faults(const Torus& torus, const FaultModel& faults,
+                                               std::int64_t tick);
+
+/// Builds the degraded realization of `algo` under `faults` at `tick`:
+/// hosts failed nodes on live neighbors and reroutes scheduled messages
+/// whose straight path crosses a fault. Returns std::nullopt when some
+/// message cannot be rerouted (healthy subgraph disconnected).
+std::optional<DegradedPlan> plan_degraded_schedule(const Torus& torus, const SuhShinAape& algo,
+                                                   const FaultModel& faults, std::int64_t tick);
+
+/// Builds the fault-tolerant direct-exchange plan: hosts failed nodes
+/// and verifies every live ordered pair stays routable around the
+/// faults. Throws FaultedExchangeError when the faults disconnect the
+/// live nodes.
+DegradedPlan plan_direct_fallback(const Torus& torus, const FaultModel& faults,
+                                  std::int64_t tick);
+
+/// Full recovery decision. `schedule` may be null (non-qualifying shape
+/// or a baseline algorithm); the audit then covers direct traffic and
+/// the remap stage is skipped. Throws FaultedExchangeError when
+/// `requested` is kNone and the audit is dirty, or when the network is
+/// disconnected.
+RecoveryDecision decide_recovery(const Torus& torus, const SuhShinAape* schedule,
+                                 const FaultModel& faults, RecoveryPolicy requested,
+                                 const BackoffConfig& backoff, std::int64_t start_tick);
+
+}  // namespace torex

@@ -1,0 +1,336 @@
+#include "sim/fault_model.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+
+#include "util/assert.hpp"
+#include "util/prng.hpp"
+
+namespace torex {
+
+namespace {
+
+std::string dir_text(const Direction& d) {
+  std::string out(1, d.sign == Sign::kPositive ? '+' : '-');
+  out += std::to_string(d.dim);
+  return out;
+}
+
+std::string window_text(const FaultSpec& spec) {
+  std::ostringstream os;
+  if (spec.permanent()) {
+    os << "permanent from tick " << spec.active_from;
+  } else {
+    os << "transient [" << spec.active_from << ", " << spec.active_until << ")";
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kChannel: return "channel";
+    case FaultKind::kNode: return "node";
+  }
+  TOREX_UNREACHABLE();
+}
+
+std::string FaultSpec::describe(const Torus& torus) const {
+  std::ostringstream os;
+  if (kind == FaultKind::kChannel) {
+    os << "channel " << channel.from << " -> " << torus.neighbor(channel.from, channel.direction)
+       << " (" << dir_text(channel.direction) << ")";
+  } else {
+    os << "node " << node;
+  }
+  os << ", " << window_text(*this);
+  return os.str();
+}
+
+FaultModel& FaultModel::fail_channel(Rank from, Direction direction, std::int64_t active_from,
+                                     std::int64_t active_until) {
+  TOREX_REQUIRE(from >= 0, "channel source must be a valid rank");
+  TOREX_REQUIRE(active_from >= 0 && active_until > active_from,
+                "fault activation window must be non-empty and start at tick >= 0");
+  FaultSpec spec;
+  spec.kind = FaultKind::kChannel;
+  spec.channel = Channel{from, direction};
+  spec.active_from = active_from;
+  spec.active_until = active_until;
+  specs_.push_back(spec);
+  return *this;
+}
+
+FaultModel& FaultModel::fail_node(Rank node, std::int64_t active_from,
+                                  std::int64_t active_until) {
+  TOREX_REQUIRE(node >= 0, "failed node must be a valid rank");
+  TOREX_REQUIRE(active_from >= 0 && active_until > active_from,
+                "fault activation window must be non-empty and start at tick >= 0");
+  FaultSpec spec;
+  spec.kind = FaultKind::kNode;
+  spec.node = node;
+  spec.active_from = active_from;
+  spec.active_until = active_until;
+  specs_.push_back(spec);
+  return *this;
+}
+
+FaultModel& FaultModel::inject_random_channel_faults(const Torus& torus, std::uint64_t seed,
+                                                     int count, std::int64_t active_from,
+                                                     std::int64_t active_until) {
+  TOREX_REQUIRE(count >= 0, "fault count must be non-negative");
+  TOREX_REQUIRE(count <= torus.num_channels(), "more channel faults than channels");
+  SplitMix64 rng(seed);
+  std::vector<ChannelId> chosen;
+  while (static_cast<int>(chosen.size()) < count) {
+    const ChannelId id =
+        static_cast<ChannelId>(rng.next_below(static_cast<std::uint64_t>(torus.num_channels())));
+    if (std::find(chosen.begin(), chosen.end(), id) != chosen.end()) continue;
+    chosen.push_back(id);
+    const Channel ch = torus.channel_of(id);
+    fail_channel(ch.from, ch.direction, active_from, active_until);
+  }
+  return *this;
+}
+
+FaultModel& FaultModel::inject_random_node_faults(const Torus& torus, std::uint64_t seed,
+                                                  int count, std::int64_t active_from,
+                                                  std::int64_t active_until) {
+  TOREX_REQUIRE(count >= 0, "fault count must be non-negative");
+  TOREX_REQUIRE(count <= torus.shape().num_nodes(), "more node faults than nodes");
+  SplitMix64 rng(seed);
+  std::vector<Rank> chosen;
+  while (static_cast<int>(chosen.size()) < count) {
+    const Rank node = static_cast<Rank>(
+        rng.next_below(static_cast<std::uint64_t>(torus.shape().num_nodes())));
+    if (std::find(chosen.begin(), chosen.end(), node) != chosen.end()) continue;
+    chosen.push_back(node);
+    fail_node(node, active_from, active_until);
+  }
+  return *this;
+}
+
+bool FaultModel::any_permanent() const {
+  for (const auto& spec : specs_) {
+    if (spec.permanent()) return true;
+  }
+  return false;
+}
+
+std::int64_t FaultModel::all_clear_after() const {
+  std::int64_t clear = 0;
+  for (const auto& spec : specs_) {
+    if (spec.permanent()) return kFaultForever;
+    clear = std::max(clear, spec.active_until);
+  }
+  return clear;
+}
+
+std::optional<FaultSpec> FaultModel::find_channel_fault(const Torus& torus, ChannelId id,
+                                                        std::int64_t tick) const {
+  for (const auto& spec : specs_) {
+    if (!spec.active_at(tick)) continue;
+    if (spec.kind == FaultKind::kChannel) {
+      if (torus.channel_id(spec.channel.from, spec.channel.direction) == id) return spec;
+    } else {
+      const Channel ch = torus.channel_of(id);
+      if (ch.from == spec.node || torus.neighbor(ch.from, ch.direction) == spec.node) {
+        return spec;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+bool FaultModel::node_failed(Rank node, std::int64_t tick) const {
+  for (const auto& spec : specs_) {
+    if (spec.kind == FaultKind::kNode && spec.node == node && spec.active_at(tick)) return true;
+  }
+  return false;
+}
+
+bool FaultModel::node_relevant_failed(Rank node, std::int64_t tick) const {
+  for (const auto& spec : specs_) {
+    if (spec.kind == FaultKind::kNode && spec.node == node && spec.relevant_at(tick)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultModel::channel_relevant_failed(const Torus& torus, ChannelId id,
+                                         std::int64_t tick) const {
+  for (const auto& spec : specs_) {
+    if (!spec.relevant_at(tick)) continue;
+    if (spec.kind == FaultKind::kChannel) {
+      if (torus.channel_id(spec.channel.from, spec.channel.direction) == id) return true;
+    } else {
+      const Channel ch = torus.channel_of(id);
+      if (ch.from == spec.node || torus.neighbor(ch.from, ch.direction) == spec.node) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+namespace {
+
+/// Shared audit core: checks one straight-line message against the
+/// model and appends an impact when broken.
+void audit_message(const Torus& torus, const FaultModel& faults, int phase, int step,
+                   std::int64_t tick, Rank src, Rank dst, Direction dir, std::int64_t hops,
+                   FaultImpactReport& report, bool& step_impacted,
+                   std::vector<ChannelId>& scratch) {
+  std::optional<FaultSpec> hit;
+  // A node fault on src or dst is also visible through its adjacent
+  // channels, but report it as the node fault it is.
+  if (faults.node_failed(src, tick)) {
+    for (const auto& spec : faults.specs()) {
+      if (spec.kind == FaultKind::kNode && spec.node == src && spec.active_at(tick)) {
+        hit = spec;
+        break;
+      }
+    }
+  }
+  if (!hit && faults.node_failed(dst, tick)) {
+    for (const auto& spec : faults.specs()) {
+      if (spec.kind == FaultKind::kNode && spec.node == dst && spec.active_at(tick)) {
+        hit = spec;
+        break;
+      }
+    }
+  }
+  if (!hit) {
+    scratch.clear();
+    torus.straight_path(src, dir, hops, scratch);
+    for (ChannelId id : scratch) {
+      hit = faults.find_channel_fault(torus, id, tick);
+      if (hit) break;
+    }
+  }
+  if (!hit) return;
+
+  ++report.impacted_messages;
+  step_impacted = true;
+  if (report.impacts.size() < FaultImpactReport::kMaxRecordedImpacts) {
+    FaultImpact impact;
+    impact.phase = phase;
+    impact.step = step;
+    impact.tick = tick;
+    impact.src = src;
+    impact.dst = dst;
+    impact.fault = *hit;
+    std::ostringstream os;
+    os << "phase " << phase << " step " << step << " (tick " << tick << "): message " << src
+       << " -> " << dst << " broken by " << hit->describe(torus);
+    impact.description = os.str();
+    if (!report.first_impact) report.first_impact = impact;
+    report.impacts.push_back(std::move(impact));
+  }
+}
+
+}  // namespace
+
+FaultImpactReport audit_schedule_faults(const SuhShinAape& algo, const FaultModel& faults,
+                                        std::int64_t base_tick) {
+  const Torus& torus = algo.torus();
+  const TorusShape& shape = torus.shape();
+  FaultImpactReport report;
+  if (faults.empty()) {
+    report.audited_steps = algo.total_steps();
+    return report;
+  }
+  std::vector<ChannelId> scratch;
+  std::int64_t global_step = 0;
+  for (int phase = 1; phase <= algo.num_phases(); ++phase) {
+    const int hops = algo.hops_per_step(phase);
+    for (int step = 1; step <= algo.steps_in_phase(phase); ++step, ++global_step) {
+      const std::int64_t tick = base_tick + global_step;
+      bool step_impacted = false;
+      for (Rank node = 0; node < shape.num_nodes(); ++node) {
+        const Direction dir = algo.direction(node, phase, step);
+        // Extent-4 scatter assignments are degenerate length-one rings:
+        // those nodes never transmit (same skip as the static
+        // contention proof).
+        if (algo.phase_kind(phase) == PhaseKind::kScatter && shape.extent(dir.dim) == 4) {
+          continue;
+        }
+        audit_message(torus, faults, phase, step, tick, node, algo.partner(node, phase, step),
+                      dir, hops, report, step_impacted, scratch);
+      }
+      ++report.audited_steps;
+      if (step_impacted) ++report.impacted_steps;
+    }
+  }
+  return report;
+}
+
+FaultImpactReport audit_trace_faults(const Torus& torus, const ExchangeTrace& trace,
+                                     const FaultModel& faults, std::int64_t base_tick) {
+  FaultImpactReport report;
+  std::vector<ChannelId> scratch;
+  for (std::size_t s = 0; s < trace.steps.size(); ++s) {
+    const StepRecord& rec = trace.steps[s];
+    const std::int64_t tick = base_tick + static_cast<std::int64_t>(s);
+    bool step_impacted = false;
+    for (const auto& t : rec.transfers) {
+      if (t.blocks <= 0) continue;
+      audit_message(torus, faults, rec.phase, rec.step, tick, t.src, t.dst, t.dir, t.hops,
+                    report, step_impacted, scratch);
+    }
+    ++report.audited_steps;
+    if (step_impacted) ++report.impacted_steps;
+  }
+  return report;
+}
+
+std::optional<std::vector<ChannelId>> route_around_faults(const Torus& torus,
+                                                          const FaultModel& faults, Rank src,
+                                                          Rank dst, std::int64_t tick) {
+  const TorusShape& shape = torus.shape();
+  TOREX_REQUIRE(src >= 0 && src < shape.num_nodes(), "route source out of range");
+  TOREX_REQUIRE(dst >= 0 && dst < shape.num_nodes(), "route destination out of range");
+  if (src == dst) return std::vector<ChannelId>{};
+
+  // BFS over nodes; parent_channel remembers the channel used to reach
+  // each node so the path can be reconstructed.
+  std::vector<ChannelId> parent_channel(static_cast<std::size_t>(shape.num_nodes()), -1);
+  std::vector<char> visited(static_cast<std::size_t>(shape.num_nodes()), 0);
+  std::deque<Rank> queue;
+  visited[static_cast<std::size_t>(src)] = 1;
+  queue.push_back(src);
+  while (!queue.empty()) {
+    const Rank at = queue.front();
+    queue.pop_front();
+    if (at == dst) break;
+    for (int d = 0; d < shape.num_dims(); ++d) {
+      for (Sign sign : {Sign::kPositive, Sign::kNegative}) {
+        const Direction dir{d, sign};
+        const Rank next = torus.neighbor(at, dir);
+        if (visited[static_cast<std::size_t>(next)]) continue;
+        const ChannelId id = torus.channel_id(at, dir);
+        if (faults.channel_relevant_failed(torus, id, tick)) continue;
+        visited[static_cast<std::size_t>(next)] = 1;
+        parent_channel[static_cast<std::size_t>(next)] = id;
+        queue.push_back(next);
+      }
+    }
+  }
+  if (!visited[static_cast<std::size_t>(dst)]) return std::nullopt;
+
+  std::vector<ChannelId> path;
+  Rank at = dst;
+  while (at != src) {
+    const ChannelId id = parent_channel[static_cast<std::size_t>(at)];
+    TOREX_CHECK(id >= 0, "BFS parent chain broken");
+    path.push_back(id);
+    at = torus.channel_of(id).from;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace torex

@@ -1,0 +1,176 @@
+// Fault model: failed directed channels and failed nodes over time.
+//
+// The paper's schedules are contention-free only on a fully healthy
+// torus; a dead channel would silently break the exchange. This module
+// describes injected faults deterministically so every other layer can
+// reason about them:
+//   * the schedule audit walks a SuhShinAape step by step and reports
+//     exactly which (phase, step, channel) a fault would break
+//     (FaultImpactReport, the fault analogue of ContentionReport);
+//   * the wormhole simulator stalls worms on faulted channels;
+//   * the communicator's recovery policies (runtime/recovery.hpp) plan
+//     retries, remaps and fallbacks from the same reports.
+//
+// Time is an abstract monotone `tick` axis. Consumers choose the
+// granularity: the schedule audit advances one tick per schedule step
+// (so `active_from = k` means "fails at step k"), the wormhole
+// simulator one tick per cycle, and the communicator's retry loop
+// advances ticks by its backoff waits. A fault is *transient* when its
+// activation window closes (it heals at `active_until`) and *permanent*
+// when the window never closes.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/aape.hpp"
+#include "core/trace.hpp"
+#include "topology/torus.hpp"
+
+namespace torex {
+
+/// Activation bound meaning "never heals".
+inline constexpr std::int64_t kFaultForever = std::numeric_limits<std::int64_t>::max();
+
+/// What failed.
+enum class FaultKind {
+  kChannel,  ///< one directed physical channel is dead
+  kNode,     ///< a whole node is dead (implies all its channels)
+};
+
+std::string to_string(FaultKind kind);
+
+/// One injected fault with its activation window [active_from,
+/// active_until): inactive before `active_from`, healed from
+/// `active_until` on.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kChannel;
+  Channel channel;  ///< meaningful when kind == kChannel
+  Rank node = -1;   ///< meaningful when kind == kNode
+  std::int64_t active_from = 0;
+  std::int64_t active_until = kFaultForever;
+
+  bool permanent() const { return active_until == kFaultForever; }
+  bool active_at(std::int64_t tick) const {
+    return tick >= active_from && tick < active_until;
+  }
+  /// Still capable of being active at or after `tick` (active now or in
+  /// the future) — the planning-time notion of "must route around it".
+  bool relevant_at(std::int64_t tick) const { return active_until > tick; }
+
+  std::string describe(const Torus& torus) const;
+};
+
+/// A deterministic set of faults. Value type; cheap to copy. Queries
+/// scan the spec list linearly — fault sets are small by construction
+/// (a handful of failures, not half the machine).
+class FaultModel {
+ public:
+  FaultModel() = default;
+
+  /// Builders (chainable).
+  FaultModel& fail_channel(Rank from, Direction direction, std::int64_t active_from = 0,
+                           std::int64_t active_until = kFaultForever);
+  FaultModel& fail_node(Rank node, std::int64_t active_from = 0,
+                        std::int64_t active_until = kFaultForever);
+
+  /// Seeded injection: appends `count` distinct random channel faults
+  /// drawn with SplitMix64(seed). Deterministic across platforms.
+  FaultModel& inject_random_channel_faults(const Torus& torus, std::uint64_t seed, int count,
+                                           std::int64_t active_from = 0,
+                                           std::int64_t active_until = kFaultForever);
+
+  /// Seeded injection of `count` distinct random node faults.
+  FaultModel& inject_random_node_faults(const Torus& torus, std::uint64_t seed, int count,
+                                        std::int64_t active_from = 0,
+                                        std::int64_t active_until = kFaultForever);
+
+  bool empty() const { return specs_.empty(); }
+  std::size_t size() const { return specs_.size(); }
+  const std::vector<FaultSpec>& specs() const { return specs_; }
+
+  /// True when any spec never heals.
+  bool any_permanent() const;
+
+  /// First tick from which no fault is ever active again (0 for an
+  /// empty model, kFaultForever when a permanent fault exists).
+  std::int64_t all_clear_after() const;
+
+  /// The first spec that kills channel `id` at `tick`, if any. A node
+  /// fault kills every channel entering or leaving that node.
+  std::optional<FaultSpec> find_channel_fault(const Torus& torus, ChannelId id,
+                                              std::int64_t tick) const;
+
+  bool channel_failed(const Torus& torus, ChannelId id, std::int64_t tick) const {
+    return find_channel_fault(torus, id, tick).has_value();
+  }
+
+  bool node_failed(Rank node, std::int64_t tick) const;
+
+  /// Node dead now or at any future tick (planning-time query).
+  bool node_relevant_failed(Rank node, std::int64_t tick) const;
+
+  /// Channel unusable now or at any future tick (planning-time query).
+  bool channel_relevant_failed(const Torus& torus, ChannelId id, std::int64_t tick) const;
+
+ private:
+  std::vector<FaultSpec> specs_;
+};
+
+// --- Schedule audit ----------------------------------------------------
+
+/// One message a fault would break.
+struct FaultImpact {
+  int phase = 0;  ///< 1-based schedule coordinates
+  int step = 0;
+  std::int64_t tick = 0;  ///< tick the step was audited at
+  Rank src = -1;
+  Rank dst = -1;
+  FaultSpec fault;           ///< the spec that broke the message
+  std::string description;   ///< human-readable summary
+};
+
+/// The fault analogue of ContentionReport: which phases/steps/channels
+/// of a schedule a fault set would break.
+struct FaultImpactReport {
+  std::int64_t audited_steps = 0;
+  std::int64_t impacted_steps = 0;
+  std::int64_t impacted_messages = 0;
+  /// First `kMaxRecordedImpacts` impacts in schedule order;
+  /// `impacted_messages` counts all of them.
+  std::vector<FaultImpact> impacts;
+  std::optional<FaultImpact> first_impact;
+
+  static constexpr std::size_t kMaxRecordedImpacts = 64;
+
+  bool clean() const { return impacted_messages == 0; }
+};
+
+/// Walks every (phase, step) of the schedule with full-activity traffic
+/// (the conservative superset the static contention proof uses) and
+/// reports every message whose source, path channel, or destination a
+/// fault breaks. Step s (0-based, global) is audited at tick
+/// `base_tick + s`, so a fault with active_from = k models
+/// "fail at step k" of a run starting at base_tick = 0.
+FaultImpactReport audit_schedule_faults(const SuhShinAape& algo, const FaultModel& faults,
+                                        std::int64_t base_tick = 0);
+
+/// Same audit over a recorded trace (realized traffic only, straight
+/// routes as scheduled).
+FaultImpactReport audit_trace_faults(const Torus& torus, const ExchangeTrace& trace,
+                                     const FaultModel& faults, std::int64_t base_tick = 0);
+
+// --- Fault-aware routing -----------------------------------------------
+
+/// Shortest path from `src` to `dst` using only channels with no
+/// relevant fault at `tick` (BFS, deterministic tie-break by scan
+/// order: dimension ascending, + before -). Returns std::nullopt when
+/// the faults disconnect the pair. `src == dst` yields an empty path.
+std::optional<std::vector<ChannelId>> route_around_faults(const Torus& torus,
+                                                          const FaultModel& faults, Rank src,
+                                                          Rank dst, std::int64_t tick);
+
+}  // namespace torex

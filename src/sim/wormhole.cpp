@@ -71,6 +71,14 @@ WormholeSimulator::WormholeSimulator(const Torus& torus) : torus_(torus) {}
 
 WormholeOutcome WormholeSimulator::simulate(const std::vector<WormSpec>& specs,
                                             SwitchingMode mode) const {
+  return simulate_faulted(specs, FaultModel{}, /*base_tick=*/0, mode);
+}
+
+WormholeOutcome WormholeSimulator::simulate_faulted(const std::vector<WormSpec>& specs,
+                                                    const FaultModel& faults,
+                                                    std::int64_t base_tick,
+                                                    SwitchingMode mode) const {
+  TOREX_REQUIRE(base_tick >= 0, "base tick must be non-negative");
   const std::int64_t vc_count = torus_.num_channels() * 2;
   const Rank N = torus_.shape().num_nodes();
   // Resource layout: [0, vc_count) virtual channels, then one
@@ -115,6 +123,29 @@ WormholeOutcome WormholeSimulator::simulate(const std::vector<WormSpec>& specs,
     w.result.hops = static_cast<std::int64_t>(w.path.size());
     w.path.push_back(consumption_port(spec.dst));
     w.acquire_time.resize(w.path.size(), -1);
+
+    // A permanent fault on the route would stall the worm forever;
+    // reject it up front instead of tripping the deadlock watchdog.
+    if (!faults.empty()) {
+      for (const auto& fault : faults.specs()) {
+        if (!fault.permanent()) continue;
+        if (fault.kind == FaultKind::kNode &&
+            (fault.node == spec.src || fault.node == spec.dst)) {
+          throw std::invalid_argument("worm endpoint is a permanently failed node " +
+                                      std::to_string(fault.node) +
+                                      "; remap it before simulating");
+        }
+      }
+      for (std::size_t r = 0; r + 1 < w.path.size(); ++r) {
+        const ChannelId id = w.path[r] / 2;
+        const auto hit = faults.find_channel_fault(torus_, id, kFaultForever - 1);
+        if (hit && hit->permanent()) {
+          throw std::invalid_argument(
+              "worm route crosses a permanently failed resource (" + hit->describe(torus_) +
+              "); reroute around permanent faults before simulating");
+        }
+      }
+    }
   }
 
   std::size_t remaining = worms.size();
@@ -125,10 +156,12 @@ WormholeOutcome WormholeSimulator::simulate(const std::vector<WormSpec>& specs,
     for (std::size_t i = 0; i < worms.size(); ++i) {
       Worm& w = worms[i];
       if (w.done) continue;
-      // Gate injection on the spec time and the source's one-port.
+      // Gate injection on the spec time, the source's one-port, and the
+      // source node being alive.
       if (w.acquired == 0) {
         if (t < w.inject_time || t < source_free[static_cast<std::size_t>(w.src)] ||
-            source_owner[static_cast<std::size_t>(w.src)] != -1) {
+            source_owner[static_cast<std::size_t>(w.src)] != -1 ||
+            faults.node_failed(w.src, base_tick + t)) {
           continue;
         }
       }
@@ -139,8 +172,18 @@ WormholeOutcome WormholeSimulator::simulate(const std::vector<WormSpec>& specs,
           t < w.acquire_time[w.acquired - 1] + w.flits) {
         continue;
       }
-      Resource& next = resources[static_cast<std::size_t>(w.path[w.acquired])];
-      const bool free = next.owner == -1 && next.free_at <= t;
+      // A faulted resource admits no new flits: the header stalls in
+      // place (holding everything behind it) until the fault heals.
+      const std::int64_t next_index = w.path[w.acquired];
+      bool fault_blocked = false;
+      if (!faults.empty()) {
+        fault_blocked =
+            next_index < vc_count
+                ? faults.channel_failed(torus_, next_index / 2, base_tick + t)
+                : faults.node_failed(static_cast<Rank>(next_index - vc_count), base_tick + t);
+      }
+      Resource& next = resources[static_cast<std::size_t>(next_index)];
+      const bool free = !fault_blocked && next.owner == -1 && next.free_at <= t;
       if (!free) {
         if (w.acquired > 0) ++w.result.stall_cycles;
         continue;
@@ -245,6 +288,33 @@ std::vector<WormholeOutcome> simulate_trace_steps(const Torus& torus,
       specs.push_back(spec);
     }
     outcomes.push_back(sim.simulate(specs, mode));
+  }
+  return outcomes;
+}
+
+std::vector<WormholeOutcome> simulate_trace_steps_faulted(const Torus& torus,
+                                                          const ExchangeTrace& trace,
+                                                          std::int64_t flits_per_block,
+                                                          const FaultModel& faults,
+                                                          std::int64_t base_tick,
+                                                          SwitchingMode mode) {
+  TOREX_REQUIRE(flits_per_block >= 1, "blocks need at least one flit");
+  WormholeSimulator sim(torus);
+  std::vector<WormholeOutcome> outcomes;
+  outcomes.reserve(trace.steps.size());
+  for (const auto& step : trace.steps) {
+    std::vector<WormSpec> specs;
+    specs.reserve(step.transfers.size());
+    for (const auto& t : step.transfers) {
+      if (t.blocks <= 0) continue;
+      WormSpec spec;
+      spec.src = t.src;
+      spec.dst = t.dst;
+      spec.flits = 1 + t.blocks * flits_per_block;  // header + payload
+      spec.route = StraightRoute{t.dir, t.hops};
+      specs.push_back(spec);
+    }
+    outcomes.push_back(sim.simulate_faulted(specs, faults, base_tick, mode));
   }
   return outcomes;
 }

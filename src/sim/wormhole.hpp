@@ -37,6 +37,7 @@
 
 #include "core/trace.hpp"
 #include "sim/cost_simulator.hpp"
+#include "sim/fault_model.hpp"
 #include "topology/torus.hpp"
 
 namespace torex {
@@ -106,6 +107,19 @@ class WormholeSimulator {
   WormholeOutcome simulate(const std::vector<WormSpec>& specs,
                            SwitchingMode mode = SwitchingMode::kWormhole) const;
 
+  /// Same, on a faulted network. A channel with an active fault admits
+  /// no new flits, so a worm whose header reaches it stalls in place
+  /// (holding every channel behind it, wormhole-style) until the fault
+  /// heals; an injection from (or a delivery port of) a failed node is
+  /// likewise gated. Simulator cycle t maps to fault tick
+  /// `base_tick + t`. Routes crossing a *permanently* failed channel or
+  /// node are rejected up front with std::invalid_argument (they would
+  /// deadlock) — reroute around permanent faults before simulating
+  /// (see route_around_faults / the communicator's recovery policies).
+  WormholeOutcome simulate_faulted(const std::vector<WormSpec>& specs,
+                                   const FaultModel& faults, std::int64_t base_tick = 0,
+                                   SwitchingMode mode = SwitchingMode::kWormhole) const;
+
   /// Convenience: the stall-free delivery time of one message of
   /// `flits` flits over `hops` hops (header pipeline + drain).
   static std::int64_t uncontended_time(std::int64_t hops, std::int64_t flits) {
@@ -129,6 +143,15 @@ std::vector<WormholeOutcome> simulate_trace_steps(
 /// Simulates each routed step of a non-combining baseline.
 std::vector<WormholeOutcome> simulate_routed_steps(
     const Torus& torus, const std::vector<RoutedStep>& steps, std::int64_t flits_per_block,
+    SwitchingMode mode = SwitchingMode::kWormhole);
+
+/// Simulates every step of a combining trace on a faulted network.
+/// Each step is an independent batch (as in simulate_trace_steps)
+/// starting at fault tick `base_tick`, so a transient fault active at
+/// the start of a step stalls that step's worms until it heals.
+std::vector<WormholeOutcome> simulate_trace_steps_faulted(
+    const Torus& torus, const ExchangeTrace& trace, std::int64_t flits_per_block,
+    const FaultModel& faults, std::int64_t base_tick = 0,
     SwitchingMode mode = SwitchingMode::kWormhole);
 
 }  // namespace torex

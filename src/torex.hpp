@@ -23,8 +23,10 @@
 #include "runtime/communicator.hpp"
 #include "runtime/node_program.hpp"
 #include "runtime/parallel_engine.hpp"
+#include "runtime/recovery.hpp"
 #include "sim/contention.hpp"
 #include "sim/cost_simulator.hpp"
+#include "sim/fault_model.hpp"
 #include "sim/trace_export.hpp"
 #include "sim/wormhole.hpp"
 #include "topology/group.hpp"

@@ -1,7 +1,13 @@
-// Randomized robustness sweeps and channel-utilization statistics.
+// Randomized robustness sweeps, channel-utilization statistics, and
+// negative-path coverage: malformed schedule files and invalid
+// communicator inputs must fail loudly, never crash or truncate.
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "core/exchange_engine.hpp"
+#include "core/schedule_io.hpp"
+#include "runtime/communicator.hpp"
 #include "sim/contention.hpp"
 #include "util/prng.hpp"
 
@@ -121,6 +127,131 @@ TEST(ChannelUsageTest, OccupancyMatchesHandCount) {
                           (static_cast<double>(stats.total_channels) *
                            static_cast<double>(trace.num_steps()));
   EXPECT_DOUBLE_EQ(stats.occupancy, expected);
+}
+
+// --- Malformed schedule files ------------------------------------------
+
+/// A known-good serialized schedule to mutate line by line.
+std::string good_schedule_text() {
+  const SuhShinAape algo(TorusShape::make_2d(4, 4));
+  std::ostringstream os;
+  write_schedule(os, algo);
+  return os.str();
+}
+
+void expect_read_throws(const std::string& text) {
+  std::istringstream is(text);
+  EXPECT_THROW(read_schedule(is), std::invalid_argument) << text.substr(0, 120);
+}
+
+TEST(ScheduleIoNegativeTest, GoodTextStillRoundTrips) {
+  const SuhShinAape algo(TorusShape::make_2d(4, 4));
+  std::istringstream is(good_schedule_text());
+  EXPECT_TRUE(matches(read_schedule(is), algo));
+}
+
+TEST(ScheduleIoNegativeTest, MissingOrWrongHeader) {
+  expect_read_throws("");
+  expect_read_throws("torex-schedule v2\nshape 4x4\n");
+  expect_read_throws("# only comments\n\n   \n");
+}
+
+TEST(ScheduleIoNegativeTest, MalformedShapeLine) {
+  expect_read_throws("torex-schedule v1\n");                       // truncated file
+  expect_read_throws("torex-schedule v1\nshape\n");                // empty shape
+  expect_read_throws("torex-schedule v1\nshape 4xfour\n");         // non-numeric extent
+  expect_read_throws("torex-schedule v1\nshape 4x0\n");            // zero extent
+  expect_read_throws("torex-schedule v1\nshape 4x-4\n");           // negative extent
+  expect_read_throws("torex-schedule v1\nshape 4x4.5\n");          // trailing characters
+  expect_read_throws("torex-schedule v1\nshape 99999999999x4\n");  // out of int range
+  // Node count that overflows the 32-bit rank type.
+  expect_read_throws("torex-schedule v1\nshape 2000000000x2000000000\nconvention nested\n");
+}
+
+TEST(ScheduleIoNegativeTest, MalformedConventionLine) {
+  expect_read_throws("torex-schedule v1\nshape 4x4\n");
+  expect_read_throws("torex-schedule v1\nshape 4x4\nconvention upside-down\n");
+}
+
+TEST(ScheduleIoNegativeTest, MalformedPhaseLines) {
+  const std::string prefix = "torex-schedule v1\nshape 4x4\nconvention paper2d\n";
+  expect_read_throws(prefix + "phase 1 kind scatter steps\n");           // truncated
+  expect_read_throws(prefix + "phase 1 kind scatter steps one hops 1\n");  // non-numeric
+  expect_read_throws(prefix + "phase 1 kind sideways steps 0 hops 1\n");  // unknown kind
+  expect_read_throws(prefix + "phase 2 kind scatter steps 0 hops 1\n");   // out of order
+  expect_read_throws(prefix + "phase 1 kind scatter steps -1 hops 1\n");  // negative steps
+  expect_read_throws(prefix + "phase 1 kind scatter steps 0 hops 0\n");   // zero hops
+}
+
+TEST(ScheduleIoNegativeTest, MalformedDirsLines) {
+  const std::string prefix = "torex-schedule v1\nshape 4x4\nconvention paper2d\n"
+                             "phase 1 kind scatter steps 0 hops 1\n"
+                             "phase 2 kind scatter steps 0 hops 1\n"
+                             "phase 3 kind quarter steps 2 hops 1\n"
+                             "phase 4 kind pair steps 2 hops 1\n";
+  const std::string sixteen_dirs = " +0 +0 +0 +0 +0 +0 +0 +0 +0 +0 +0 +0 +0 +0 +0 +0";
+  expect_read_throws(prefix + "dirs\n");                          // no phase/step
+  expect_read_throws(prefix + "dirs 9 0" + sixteen_dirs + "\n");  // unknown phase
+  expect_read_throws(prefix + "dirs 1 1" + sixteen_dirs + "\n");  // scatter wants step 0
+  expect_read_throws(prefix + "dirs 3 0" + sixteen_dirs + "\n");  // exchange wants step >= 1
+  expect_read_throws(prefix + "dirs 3 3" + sixteen_dirs + "\n");  // step past phase steps
+  expect_read_throws(prefix + "dirs 3 1 +0 +0 +0\n");             // truncated node list
+  expect_read_throws(prefix + "dirs 3 1" + sixteen_dirs + " +0\n");  // too many nodes
+  expect_read_throws(prefix + "dirs 3 1 +2" + sixteen_dirs.substr(3) + "\n");  // dim range
+  expect_read_throws(prefix + "dirs 3 1 0" + sixteen_dirs.substr(3) + "\n");   // no sign
+  expect_read_throws(prefix + "dirs 3 1 +x" + sixteen_dirs.substr(3) + "\n");  // non-numeric
+  expect_read_throws(prefix + "orbit 1 0" + sixteen_dirs + "\n");  // unknown keyword
+}
+
+// --- Invalid communicator inputs ---------------------------------------
+
+TEST(CommunicatorNegativeTest, RaggedOrWrongSizedBuffersAreRejected) {
+  const TorusCommunicator comm(TorusShape::make_2d(4, 4), CostParams{});
+  const Rank n = comm.size();
+  std::vector<std::vector<int>> send(static_cast<std::size_t>(n),
+                                     std::vector<int>(static_cast<std::size_t>(n), 7));
+  EXPECT_NO_THROW(comm.alltoall(send));
+
+  std::vector<std::vector<int>> short_outer(send.begin(), send.end() - 1);
+  EXPECT_THROW(comm.alltoall(short_outer), std::invalid_argument);
+
+  auto ragged = send;
+  ragged[3].pop_back();
+  EXPECT_THROW(comm.alltoall(ragged), std::invalid_argument);
+  ragged[3].resize(static_cast<std::size_t>(n) + 1, 0);
+  EXPECT_THROW(comm.alltoall(ragged), std::invalid_argument);
+}
+
+TEST(CommunicatorNegativeTest, NonQualifyingShapeRejectsSuhShinButNotFallbacks) {
+  // 6x4: extent 6 is not a multiple of four, so the direct Suh-Shin
+  // schedule must refuse while padded/ring/direct still work.
+  const TorusCommunicator comm(TorusShape::make_2d(6, 4), CostParams{});
+  EXPECT_FALSE(comm.suh_shin_applicable());
+  const Rank n = comm.size();
+  std::vector<std::vector<int>> send(static_cast<std::size_t>(n));
+  for (Rank p = 0; p < n; ++p) {
+    for (Rank q = 0; q < n; ++q) send[static_cast<std::size_t>(p)].push_back(p * 100 + q);
+  }
+  EXPECT_THROW(comm.alltoall(send, AlltoallAlgorithm::kSuhShin), std::invalid_argument);
+  EXPECT_THROW(comm.estimate(AlltoallAlgorithm::kSuhShin, 64), std::invalid_argument);
+  for (AlltoallAlgorithm algorithm :
+       {AlltoallAlgorithm::kSuhShinPadded, AlltoallAlgorithm::kRing, AlltoallAlgorithm::kDirect,
+        AlltoallAlgorithm::kBruck, AlltoallAlgorithm::kAuto}) {
+    const auto recv = comm.alltoall(send, algorithm);
+    for (Rank q = 0; q < n; ++q) {
+      for (Rank p = 0; p < n; ++p) {
+        ASSERT_EQ(recv[static_cast<std::size_t>(q)][static_cast<std::size_t>(p)],
+                  send[static_cast<std::size_t>(p)][static_cast<std::size_t>(q)]);
+      }
+    }
+  }
+}
+
+TEST(CommunicatorNegativeTest, InvalidBlockSizeAndTinyShapesAreRejected) {
+  const TorusCommunicator comm(TorusShape::make_2d(4, 4), CostParams{});
+  EXPECT_THROW(comm.estimate(AlltoallAlgorithm::kRing, 0), std::invalid_argument);
+  EXPECT_THROW(comm.estimate(AlltoallAlgorithm::kRing, -8), std::invalid_argument);
+  EXPECT_THROW(TorusCommunicator(TorusShape({1}), CostParams{}), std::invalid_argument);
 }
 
 }  // namespace

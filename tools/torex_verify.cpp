@@ -1,7 +1,7 @@
 // torex_verify — exhaustive self-verification sweep.
 //
 //   ./torex_verify [--max-nodes=800] [--max-dims=4] [--flit-level]
-//                  [--layout] [--static-nodes=0]
+//                  [--layout] [--static-nodes=0] [--faults=0]
 //
 // Enumerates every valid torus shape (extents multiples of four, sorted
 // non-increasing) up to the node budget and dimension cap, and runs the
@@ -13,6 +13,9 @@
 //   * optionally (--flit-level) stall-freedom in the wormhole simulator
 //   * optionally (--static-nodes=K) static contention proofs on shapes
 //     up to K nodes that are too large to execute
+//   * optionally (--faults=K) a degraded-mode sweep: K seeded permanent
+//     channel faults injected per shape, the exchange re-run under every
+//     recovery policy, and the AAPE permutation re-checked
 // Exits non-zero on the first failure. This is the tool to run after
 // touching the pattern or schedule code on a machine with more budget
 // than CI.
@@ -21,7 +24,9 @@
 
 #include "core/data_array.hpp"
 #include "core/exchange_engine.hpp"
+#include "runtime/communicator.hpp"
 #include "sim/contention.hpp"
+#include "sim/fault_model.hpp"
 #include "sim/wormhole.hpp"
 #include "util/cli.hpp"
 
@@ -43,16 +48,63 @@ void enumerate(std::vector<std::int32_t>& prefix, std::int64_t nodes_so_far,
   }
 }
 
+/// Deterministic per-shape seed so fault sweeps are reproducible.
+std::uint64_t shape_seed(const TorusShape& shape) {
+  std::uint64_t seed = 0x7072u;
+  for (int d = 0; d < shape.num_dims(); ++d) {
+    seed = seed * 1000003u + static_cast<std::uint64_t>(shape.extent(d));
+  }
+  return seed;
+}
+
+/// Re-runs the exchange with `faults_k` seeded permanent channel faults
+/// under every recovery policy and re-checks the AAPE permutation.
+/// Returns false (after printing a FAIL line) on any divergence.
+bool verify_faulted_exchange(const TorusShape& shape, int faults_k) {
+  const TorusCommunicator comm(shape, CostParams{});
+  FaultModel faults;
+  faults.inject_random_channel_faults(Torus(shape), shape_seed(shape), faults_k);
+  const Rank N = comm.size();
+  std::vector<std::vector<std::int64_t>> send(static_cast<std::size_t>(N));
+  for (Rank p = 0; p < N; ++p) {
+    auto& row = send[static_cast<std::size_t>(p)];
+    row.reserve(static_cast<std::size_t>(N));
+    for (Rank q = 0; q < N; ++q) row.push_back(static_cast<std::int64_t>(p) * N + q);
+  }
+  for (RecoveryPolicy policy :
+       {RecoveryPolicy::kRetryBackoff, RecoveryPolicy::kRemap, RecoveryPolicy::kFallbackDirect,
+        RecoveryPolicy::kAuto}) {
+    ResilienceOptions options;
+    options.algorithm = AlltoallAlgorithm::kSuhShin;
+    options.policy = policy;
+    ExchangeOutcome outcome;
+    const auto recv = comm.alltoall_resilient(send, faults, outcome, options);
+    for (Rank q = 0; q < N; ++q) {
+      for (Rank p = 0; p < N; ++p) {
+        if (recv[static_cast<std::size_t>(q)][static_cast<std::size_t>(p)] !=
+            send[static_cast<std::size_t>(p)][static_cast<std::size_t>(q)]) {
+          std::cerr << "FAIL " << shape.to_string() << ": faulted exchange broke the AAPE "
+                    << "permutation under policy " << to_string(policy) << " ("
+                    << outcome.summary() << ")\n";
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
     const CliFlags flags = CliFlags::parse(
-        argc, argv, {"max-nodes", "max-dims", "flit-level", "layout", "static-nodes"});
+        argc, argv, {"max-nodes", "max-dims", "flit-level", "layout", "static-nodes", "faults"});
     const std::int64_t max_nodes = flags.get_int("max-nodes", 800);
     const int max_dims = static_cast<int>(flags.get_int("max-dims", 4));
     const bool flit_level = flags.get_bool("flit-level", false);
     const bool layout = flags.get_bool("layout", false);
+    const int faults_k = static_cast<int>(flags.get_int("faults", 0));
 
     std::vector<std::vector<std::int32_t>> shapes;
     {
@@ -68,7 +120,9 @@ int main(int argc, char** argv) {
     std::cout << "verifying " << shapes.size() << " shapes (<= " << max_nodes
               << " nodes, <= " << max_dims << " dims)"
               << (layout ? ", layout audit on" : "")
-              << (flit_level ? ", flit-level on" : "") << "\n";
+              << (flit_level ? ", flit-level on" : "");
+    if (faults_k > 0) std::cout << ", fault sweep k=" << faults_k;
+    std::cout << "\n";
 
     std::int64_t checked = 0;
     for (const auto& extents : shapes) {
@@ -113,6 +167,7 @@ int main(int argc, char** argv) {
           }
         }
       }
+      if (faults_k > 0 && !verify_faulted_exchange(shape, faults_k)) return 1;
       ++checked;
       if (checked % 25 == 0) std::cout << "  " << checked << " shapes ok...\n";
     }
