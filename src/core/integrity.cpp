@@ -1,0 +1,18 @@
+#include "core/integrity.hpp"
+
+#include <sstream>
+#include <utility>
+
+namespace torex {
+
+std::string IntegrityViolation::describe() const {
+  std::ostringstream os;
+  os << "phase " << phase << " step " << step << " (tick " << tick << ", attempt " << attempt
+     << "): message " << src << " -> " << dst << " rejected — " << reason;
+  return os.str();
+}
+
+IntegrityError::IntegrityError(const std::string& what, IntegrityReport report)
+    : std::runtime_error(what), report_(std::move(report)) {}
+
+}  // namespace torex

@@ -9,13 +9,19 @@
 #pragma once
 
 #include <algorithm>
+#include <cstddef>
+#include <cstring>
 #include <iterator>
+#include <string>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "core/aape.hpp"
 #include "core/block.hpp"
+#include "core/integrity.hpp"
 #include "util/assert.hpp"
+#include "util/crc32.hpp"
 
 namespace torex {
 
@@ -30,6 +36,48 @@ struct Parcel {
 template <typename T>
 using ParcelBuffers = std::vector<std::vector<Parcel<T>>>;
 
+namespace detail {
+
+/// Validates the canonical all-to-all seed: one buffer per node, one
+/// parcel per destination, every parcel originating at its node.
+template <typename T>
+void require_canonical_parcel_seed(Rank N, const ParcelBuffers<T>& buffers) {
+  TOREX_REQUIRE(static_cast<Rank>(buffers.size()) == N, "need one buffer per node");
+  std::vector<char> seen(static_cast<std::size_t>(N));
+  for (Rank p = 0; p < N; ++p) {
+    TOREX_REQUIRE(static_cast<Rank>(buffers[static_cast<std::size_t>(p)].size()) == N,
+                  "node must start with one parcel per destination");
+    std::fill(seen.begin(), seen.end(), 0);
+    for (const auto& parcel : buffers[static_cast<std::size_t>(p)]) {
+      TOREX_REQUIRE(parcel.block.origin == p, "parcel origin must match its node");
+      TOREX_REQUIRE(parcel.block.dest >= 0 && parcel.block.dest < N,
+                    "parcel destination out of range");
+      TOREX_REQUIRE(!seen[static_cast<std::size_t>(parcel.block.dest)],
+                    "duplicate destination in a node's initial parcels");
+      seen[static_cast<std::size_t>(parcel.block.dest)] = 1;
+    }
+  }
+}
+
+/// Verifies the AAPE postcondition on delivered parcels: node p holds
+/// exactly one parcel from every origin, all addressed to p.
+template <typename T>
+void check_parcel_postcondition(Rank N, const ParcelBuffers<T>& buffers) {
+  std::vector<char> seen(static_cast<std::size_t>(N));
+  for (Rank p = 0; p < N; ++p) {
+    const auto& buf = buffers[static_cast<std::size_t>(p)];
+    TOREX_CHECK(static_cast<Rank>(buf.size()) == N, "payload exchange lost parcels");
+    std::fill(seen.begin(), seen.end(), 0);
+    for (const auto& parcel : buf) {
+      TOREX_CHECK(parcel.block.dest == p, "payload delivered to the wrong node");
+      TOREX_CHECK(!seen[static_cast<std::size_t>(parcel.block.origin)], "duplicate origin");
+      seen[static_cast<std::size_t>(parcel.block.origin)] = 1;
+    }
+  }
+}
+
+}  // namespace detail
+
 /// Runs the full schedule over `initial` parcels. Requirements:
 /// initial[p] holds exactly one parcel per destination, each with
 /// block.origin == p. Returns the final buffers: node p ends with one
@@ -38,14 +86,7 @@ using ParcelBuffers = std::vector<std::vector<Parcel<T>>>;
 template <typename T>
 ParcelBuffers<T> exchange_payloads(const SuhShinAape& algo, ParcelBuffers<T> buffers) {
   const Rank N = algo.shape().num_nodes();
-  TOREX_REQUIRE(static_cast<Rank>(buffers.size()) == N, "need one buffer per node");
-  for (Rank p = 0; p < N; ++p) {
-    TOREX_REQUIRE(static_cast<Rank>(buffers[static_cast<std::size_t>(p)].size()) == N,
-                  "node must start with one parcel per destination");
-    for (const auto& parcel : buffers[static_cast<std::size_t>(p)]) {
-      TOREX_REQUIRE(parcel.block.origin == p, "parcel origin must match its node");
-    }
-  }
+  detail::require_canonical_parcel_seed(N, buffers);
 
   ParcelBuffers<T> inbox(static_cast<std::size_t>(N));
   for (int phase = 1; phase <= algo.num_phases(); ++phase) {
@@ -73,16 +114,236 @@ ParcelBuffers<T> exchange_payloads(const SuhShinAape& algo, ParcelBuffers<T> buf
     }
   }
 
-  for (Rank p = 0; p < N; ++p) {
-    const auto& buf = buffers[static_cast<std::size_t>(p)];
-    TOREX_CHECK(static_cast<Rank>(buf.size()) == N, "payload exchange lost parcels");
-    std::vector<char> seen(static_cast<std::size_t>(N), 0);
-    for (const auto& parcel : buf) {
-      TOREX_CHECK(parcel.block.dest == p, "payload delivered to the wrong node");
-      TOREX_CHECK(!seen[static_cast<std::size_t>(parcel.block.origin)], "duplicate origin");
-      seen[static_cast<std::size_t>(parcel.block.origin)] = 1;
+  detail::check_parcel_postcondition(N, buffers);
+  return buffers;
+}
+
+// --- Sealed exchange ---------------------------------------------------
+//
+// The self-checking variant of exchange_payloads: every message is
+// serialized to wire bytes with per-parcel seals (origin, dest, phase,
+// step, CRC-32 over header + payload) plus a checksummed message
+// header, optionally tampered with in flight (ParcelTamperer), and
+// verified by the receiver before integration. Detection triggers a
+// bounded retransmit; exhaustion raises IntegrityError. Restricted to
+// trivially copyable payloads because sealing hashes the payload's
+// object representation.
+
+namespace detail {
+
+inline constexpr std::uint32_t kSealedMagic = 0x544F5831u;  // "TOX1"
+
+/// Seal digest of one parcel: binds payload bytes to the parcel's
+/// identity and the schedule step it was transmitted in.
+inline std::uint32_t parcel_seal(Rank origin, Rank dest, int phase, int step,
+                                 const void* payload, std::size_t payload_len) {
+  Crc32 crc;
+  crc.update_value(static_cast<std::int64_t>(origin));
+  crc.update_value(static_cast<std::int64_t>(dest));
+  crc.update_value(static_cast<std::int32_t>(phase));
+  crc.update_value(static_cast<std::int32_t>(step));
+  crc.update(payload, payload_len);
+  return crc.value();
+}
+
+}  // namespace detail
+
+/// Serializes one step's message (all parcels `src` ships to `dst` in
+/// (phase, step)) into sealed wire bytes.
+template <typename T>
+std::vector<std::byte> encode_sealed_message(const std::vector<Parcel<T>>& parcels, int phase,
+                                             int step, Rank src, Rank dst) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "sealed exchange requires trivially copyable payloads");
+  std::vector<std::byte> wire;
+  wire.reserve(40 + parcels.size() * (28 + sizeof(T)));
+  wire_put_u32(wire, detail::kSealedMagic);
+  wire_put_u32(wire, static_cast<std::uint32_t>(phase));
+  wire_put_u32(wire, static_cast<std::uint32_t>(step));
+  wire_put_u64(wire, static_cast<std::uint64_t>(static_cast<std::int64_t>(src)));
+  wire_put_u64(wire, static_cast<std::uint64_t>(static_cast<std::int64_t>(dst)));
+  wire_put_u64(wire, static_cast<std::uint64_t>(parcels.size()));
+  wire_put_u32(wire, crc32(wire.data(), wire.size()));
+  for (const auto& parcel : parcels) {
+    wire_put_u64(wire, static_cast<std::uint64_t>(static_cast<std::int64_t>(parcel.block.origin)));
+    wire_put_u64(wire, static_cast<std::uint64_t>(static_cast<std::int64_t>(parcel.block.dest)));
+    wire_put_u64(wire, static_cast<std::uint64_t>(sizeof(T)));
+    const std::size_t at = wire.size();
+    wire.resize(at + sizeof(T));
+    std::memcpy(wire.data() + at, &parcel.payload, sizeof(T));
+    wire_put_u32(wire, detail::parcel_seal(parcel.block.origin, parcel.block.dest, phase, step,
+                                           wire.data() + at, sizeof(T)));
+  }
+  return wire;
+}
+
+/// Verifies and deserializes a sealed message. Returns false (with
+/// `reason` filled when non-null) on any integrity violation: short or
+/// oversized buffer, bad magic, header/seal checksum mismatch, metadata
+/// that does not match the expected (phase, step, src, dst), or parcel
+/// identities out of range. On success `out` holds the parcels.
+template <typename T>
+bool decode_sealed_message(const std::vector<std::byte>& wire, int phase, int step, Rank src,
+                           Rank dst, Rank num_nodes, std::vector<Parcel<T>>& out,
+                           std::string* reason = nullptr) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "sealed exchange requires trivially copyable payloads");
+  out.clear();
+  auto fail = [&](const char* what) {
+    if (reason != nullptr) *reason = what;
+    out.clear();
+    return false;
+  };
+  std::size_t offset = 0;
+  std::uint32_t magic = 0, wire_phase = 0, wire_step = 0, header_crc = 0;
+  std::uint64_t wire_src = 0, wire_dst = 0, count = 0;
+  if (!wire_get_u32(wire, offset, magic) || !wire_get_u32(wire, offset, wire_phase) ||
+      !wire_get_u32(wire, offset, wire_step) || !wire_get_u64(wire, offset, wire_src) ||
+      !wire_get_u64(wire, offset, wire_dst) || !wire_get_u64(wire, offset, count)) {
+    return fail("truncated message header");
+  }
+  const std::size_t header_len = offset;
+  if (!wire_get_u32(wire, offset, header_crc)) return fail("truncated message header");
+  if (header_crc != crc32(wire.data(), header_len)) return fail("header checksum mismatch");
+  if (magic != detail::kSealedMagic) return fail("bad magic");
+  if (wire_phase != static_cast<std::uint32_t>(phase) ||
+      wire_step != static_cast<std::uint32_t>(step)) {
+    return fail("message sealed for a different step");
+  }
+  if (wire_src != static_cast<std::uint64_t>(static_cast<std::int64_t>(src)) ||
+      wire_dst != static_cast<std::uint64_t>(static_cast<std::int64_t>(dst))) {
+    return fail("message sealed for a different channel");
+  }
+  const std::uint64_t N = static_cast<std::uint64_t>(num_nodes);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t origin = 0, dest = 0, payload_len = 0;
+    if (!wire_get_u64(wire, offset, origin) || !wire_get_u64(wire, offset, dest) ||
+        !wire_get_u64(wire, offset, payload_len)) {
+      return fail("truncated parcel header");
+    }
+    if (origin >= N || dest >= N) return fail("parcel identity out of range");
+    if (payload_len != sizeof(T)) return fail("parcel payload length mismatch");
+    if (wire.size() < offset + sizeof(T)) return fail("truncated parcel payload");
+    const std::byte* payload_at = wire.data() + offset;
+    offset += sizeof(T);
+    std::uint32_t seal = 0;
+    if (!wire_get_u32(wire, offset, seal)) return fail("truncated parcel seal");
+    const Rank parcel_origin = static_cast<Rank>(origin);
+    const Rank parcel_dest = static_cast<Rank>(dest);
+    if (seal != detail::parcel_seal(parcel_origin, parcel_dest, phase, step, payload_at,
+                                    sizeof(T))) {
+      return fail("parcel seal mismatch");
+    }
+    Parcel<T> parcel;
+    parcel.block = Block{parcel_origin, parcel_dest};
+    std::memcpy(&parcel.payload, payload_at, sizeof(T));
+    out.push_back(std::move(parcel));
+  }
+  if (offset != wire.size()) return fail("trailing bytes after last parcel");
+  return true;
+}
+
+/// exchange_payloads with end-to-end integrity: every message crosses
+/// the (simulated) wire sealed, may be tampered with by `tamperer`, and
+/// is verified at integrate time. A rejected delivery is retransmitted
+/// up to options.max_retransmits times — each retransmission costs one
+/// fault tick, so transient corruption windows heal under retry — and
+/// an exhausted budget raises IntegrityError carrying the report.
+/// `report_out`, when non-null, receives the report even on throw.
+template <typename T>
+ParcelBuffers<T> exchange_payloads_sealed(const SuhShinAape& algo, ParcelBuffers<T> buffers,
+                                          const ParcelTamperer& tamperer = {},
+                                          const IntegrityOptions& options = {},
+                                          IntegrityReport* report_out = nullptr) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "sealed exchange requires trivially copyable payloads");
+  const Rank N = algo.shape().num_nodes();
+  detail::require_canonical_parcel_seed(N, buffers);
+  TOREX_REQUIRE(options.max_retransmits >= 0, "retransmit budget must be non-negative");
+
+  IntegrityReport report;
+  std::int64_t tick = options.base_tick;
+  ParcelBuffers<T> inbox(static_cast<std::size_t>(N));
+  std::vector<Parcel<T>> received;
+  for (int phase = 1; phase <= algo.num_phases(); ++phase) {
+    const int hops = algo.hops_per_step(phase);
+    for (int step = 1; step <= algo.steps_in_phase(phase); ++step) {
+      // Retransmissions across node pairs overlap in time; the step
+      // consumes 1 + (worst retransmit count) ticks.
+      std::int64_t extra_ticks = 0;
+      for (Rank p = 0; p < N; ++p) {
+        auto& buf = buffers[static_cast<std::size_t>(p)];
+        auto split = std::stable_partition(buf.begin(), buf.end(), [&](const Parcel<T>& x) {
+          return !algo.should_send(p, phase, step, x.block);
+        });
+        if (split == buf.end()) continue;
+        std::vector<Parcel<T>> outgoing(std::make_move_iterator(split),
+                                        std::make_move_iterator(buf.end()));
+        buf.erase(split, buf.end());
+        const Rank q = algo.partner(p, phase, step);
+        const Direction dir = algo.direction(p, phase, step);
+        for (int attempt = 0;; ++attempt) {
+          auto wire = encode_sealed_message(outgoing, phase, step, p, q);
+          TransferContext ctx;
+          ctx.phase = phase;
+          ctx.step = step;
+          ctx.src = p;
+          ctx.dst = q;
+          ctx.direction = dir;
+          ctx.hops = hops;
+          ctx.tick = tick + attempt;
+          ctx.attempt = attempt;
+          if (tamperer) tamperer(ctx, wire);
+          std::string reason;
+          if (decode_sealed_message<T>(wire, phase, step, p, q, N, received, &reason)) {
+            auto& in = inbox[static_cast<std::size_t>(q)];
+            in.insert(in.end(), std::make_move_iterator(received.begin()),
+                      std::make_move_iterator(received.end()));
+            ++report.messages;
+            report.parcels += static_cast<std::int64_t>(received.size());
+            report.retransmits += attempt;
+            extra_ticks = std::max<std::int64_t>(extra_ticks, attempt);
+            break;
+          }
+          ++report.corrupted;
+          IntegrityViolation violation;
+          violation.phase = phase;
+          violation.step = step;
+          violation.src = p;
+          violation.dst = q;
+          violation.direction = dir;
+          violation.hops = hops;
+          violation.tick = ctx.tick;
+          violation.attempt = attempt;
+          violation.reason = std::move(reason);
+          if (report.violations.size() < IntegrityReport::kMaxRecordedViolations) {
+            report.violations.push_back(violation);
+          }
+          if (attempt == options.max_retransmits) {
+            report.retransmits += attempt;
+            report.fatal = violation;
+            report.final_tick = ctx.tick;
+            if (report_out != nullptr) *report_out = report;
+            throw IntegrityError("integrity failure: " + violation.describe() +
+                                     " (retransmit budget exhausted)",
+                                 std::move(report));
+          }
+        }
+      }
+      for (Rank p = 0; p < N; ++p) {
+        auto& in = inbox[static_cast<std::size_t>(p)];
+        if (in.empty()) continue;
+        auto& buf = buffers[static_cast<std::size_t>(p)];
+        buf.insert(buf.end(), std::make_move_iterator(in.begin()),
+                   std::make_move_iterator(in.end()));
+        in.clear();
+      }
+      tick += 1 + extra_ticks;
     }
   }
+  report.final_tick = tick;
+  detail::check_parcel_postcondition(N, buffers);
+  if (report_out != nullptr) *report_out = report;
   return buffers;
 }
 

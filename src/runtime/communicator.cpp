@@ -19,13 +19,52 @@ std::string to_string(AlltoallAlgorithm algorithm) {
   TOREX_UNREACHABLE();
 }
 
+std::string to_string(IntegrityStatus status) {
+  switch (status) {
+    case IntegrityStatus::kClean: return "clean";
+    case IntegrityStatus::kCorrected: return "corrected";
+    case IntegrityStatus::kEscalated: return "escalated";
+  }
+  TOREX_UNREACHABLE();
+}
+
 std::string ExchangeOutcome::summary() const {
   std::ostringstream os;
   os << "algorithm=" << torex::to_string(algorithm) << " policy=" << torex::to_string(policy)
      << " attempts=" << attempts << " retries=" << retries << " waited=" << waited_ticks
      << " remapped=" << remapped_nodes << " rerouted=" << rerouted_messages
      << " extra_hops=" << extra_hops << (degraded ? " (degraded)" : "");
+  if (integrity != IntegrityStatus::kClean || corrupted_messages > 0) {
+    os << " integrity=" << torex::to_string(integrity) << " corrupted=" << corrupted_messages
+       << " retransmits=" << retransmits << " escalations=" << escalations;
+    if (integrity_failure.has_value()) {
+      os << " [fatal: phase " << integrity_failure->phase << " step " << integrity_failure->step
+         << ", " << integrity_failure->src << " -> " << integrity_failure->dst << ": "
+         << integrity_failure->description << "]";
+    }
+  }
   return os.str();
+}
+
+bool add_corruption_as_faults(const Torus& torus, const CorruptionModel& corruption,
+                              const IntegrityViolation& fatal, FaultModel& faults) {
+  // The fatal attempt crossed the straight-line route of its schedule
+  // step; every corrupting channel on that route active at the failing
+  // tick is implicated. The already-failed check keeps escalation
+  // monotone: rounds that add nothing report false so the caller can
+  // stop instead of spinning.
+  std::vector<ChannelId> path;
+  torus.straight_path(fatal.src, fatal.direction, fatal.hops, path);
+  bool added = false;
+  for (ChannelId id : path) {
+    const auto spec = corruption.find(torus, id, fatal.tick);
+    if (!spec.has_value()) continue;
+    if (faults.channel_relevant_failed(torus, id, fatal.tick)) continue;
+    const Channel ch = torus.channel_of(id);
+    faults.fail_channel(ch.from, ch.direction, spec->active_from, spec->active_until);
+    added = true;
+  }
+  return added;
 }
 
 TorusCommunicator::TorusCommunicator(TorusShape shape, CostParams params)

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "baselines/bruck.hpp"
@@ -44,6 +45,28 @@ enum class AlltoallAlgorithm {
 
 std::string to_string(AlltoallAlgorithm algorithm);
 
+/// How the end-to-end integrity check of a checked exchange ended.
+enum class IntegrityStatus {
+  kClean,      ///< every seal verified on first delivery
+  kCorrected,  ///< corruption detected and repaired by retransmission
+  kEscalated,  ///< retransmit budget exhausted; escalated into recovery
+};
+
+std::string to_string(IntegrityStatus status);
+
+/// The IntegrityFailure branch of an outcome: where a checked exchange
+/// exhausted its retransmit budget before escalating into the recovery
+/// chain.
+struct IntegrityFailure {
+  int phase = 0;  ///< 1-based schedule coordinates of the fatal step
+  int step = 0;
+  Rank src = -1;
+  Rank dst = -1;
+  std::int64_t tick = 0;        ///< fault tick of the last failed attempt
+  int retransmits = 0;          ///< attempts spent on the fatal message
+  std::string description;      ///< verifier's rejection, human-readable
+};
+
 /// What a (possibly fault-recovered) exchange actually did. Returned by
 /// alltoall_resilient instead of a bare throw: the caller learns which
 /// algorithm moved the data, which recovery policy ran, and what the
@@ -64,8 +87,26 @@ struct ExchangeOutcome {
   double modeled_time = 0.0;    ///< modeled completion time of what ran
   std::string note;             ///< human-readable recovery chain
 
+  // Filled by alltoall_checked (the integrity-verified entry point).
+  IntegrityStatus integrity = IntegrityStatus::kClean;
+  std::int64_t corrupted_messages = 0;  ///< deliveries rejected by seal checks
+  std::int64_t retransmits = 0;         ///< retransmissions performed
+  int escalations = 0;                  ///< integrity failures escalated into recovery
+  /// Present when integrity == kEscalated: the failure that triggered
+  /// the (last) escalation.
+  std::optional<IntegrityFailure> integrity_failure;
+
   std::string summary() const;
 };
+
+/// Escalation bridge from the integrity layer into the fault model:
+/// walks the fatal violation's channel path through `corruption` and
+/// adds every implicated corrupting channel to `faults` as a channel
+/// fault (inheriting the corruption's active window), so the recovery
+/// planner routes around it. Returns false when no new fault was added
+/// (the corruption cannot be attributed to a modeled channel).
+bool add_corruption_as_faults(const Torus& torus, const CorruptionModel& corruption,
+                              const IntegrityViolation& fatal, FaultModel& faults);
 
 /// Options for the fault-aware alltoall entry point.
 struct ResilienceOptions {
@@ -209,7 +250,127 @@ class TorusCommunicator {
   ExchangeOutcome plan_resilient(const FaultModel& faults, const ResilienceOptions& options,
                                  std::int64_t block_bytes) const;
 
+  /// Self-checking all-to-all: alltoall_resilient plus end-to-end data
+  /// integrity. When the Suh-Shin schedule runs, every message crosses
+  /// the simulated wire sealed (per-parcel CRC-32 + metadata), may be
+  /// damaged by `corruption`, and is verified before integration;
+  /// detected corruption is repaired by bounded retransmission
+  /// (kCorrected). A message that stays corrupt past its budget
+  /// escalates: the corrupting channels are added to the fault model as
+  /// channel faults and the exchange re-plans through the PR-1 recovery
+  /// chain (kEscalated, outcome.integrity_failure attributes the step).
+  /// The returned permutation is always exact; persistent corruption
+  /// that cannot be attributed rethrows the IntegrityError, and
+  /// RecoveryPolicy::kNone turns escalation into FaultedExchangeError.
+  template <typename T>
+  std::vector<std::vector<T>> alltoall_checked(const std::vector<std::vector<T>>& send,
+                                               const FaultModel& faults,
+                                               const CorruptionModel& corruption,
+                                               ExchangeOutcome& outcome,
+                                               const ResilienceOptions& options = {},
+                                               const IntegrityOptions& integrity = {}) const {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "checked exchange requires trivially copyable payloads");
+    const Rank N = size();
+    TOREX_REQUIRE(static_cast<Rank>(send.size()) == N, "send buffer must have N rows");
+    for (const auto& row : send) {
+      TOREX_REQUIRE(static_cast<Rank>(row.size()) == N, "send rows must have N entries");
+    }
+    const std::int64_t bytes =
+        options.block_bytes > 0 ? options.block_bytes : static_cast<std::int64_t>(sizeof(T));
+    FaultModel effective = faults;
+    std::int64_t corrupted = 0;
+    std::int64_t retransmits = 0;
+    int escalations = 0;
+    // Recovery work spent by abandoned rounds; folded into each fresh
+    // plan so the final outcome reports the whole exchange's history.
+    int prior_attempts = 0;
+    int prior_retries = 0;
+    std::int64_t prior_waited = 0;
+    std::optional<IntegrityFailure> failure;
+    const Torus torus(shape_);
+    // Each escalation converts at least one corrupting channel into a
+    // channel fault, so the loop ends within |corruption| rounds.
+    while (true) {
+      outcome = plan_resilient(effective, options, bytes);
+      outcome.attempts += prior_attempts;
+      outcome.retries += prior_retries;
+      outcome.waited_ticks += prior_waited;
+      outcome.integrity = escalations > 0 ? IntegrityStatus::kEscalated : IntegrityStatus::kClean;
+      outcome.corrupted_messages = corrupted;
+      outcome.retransmits = retransmits;
+      outcome.escalations = escalations;
+      outcome.integrity_failure = failure;
+      if (outcome.algorithm != AlltoallAlgorithm::kSuhShin || outcome.degraded ||
+          !schedule_.has_value()) {
+        // Degraded/baseline realizations are permutation-level
+        // simulations (see alltoall) — a remapped plan does not run the
+        // pristine schedule, so nothing crosses the sealed wire.
+        return alltoall(send, outcome.algorithm, bytes, nullptr);
+      }
+      IntegrityOptions iopts = integrity;
+      iopts.base_tick = outcome.run_tick;
+      try {
+        IntegrityReport report;
+        auto recv = run_sealed<T>(send, corruption, iopts, report);
+        outcome.corrupted_messages += report.corrupted;
+        outcome.retransmits += report.retransmits;
+        if (outcome.integrity == IntegrityStatus::kClean && !report.clean()) {
+          outcome.integrity = IntegrityStatus::kCorrected;
+          outcome.note += "; corruption detected and corrected by retransmission";
+        }
+        return recv;
+      } catch (const IntegrityError& error) {
+        const IntegrityReport& report = error.report();
+        corrupted += report.corrupted;
+        retransmits += report.retransmits;
+        prior_attempts = outcome.attempts;
+        prior_retries = outcome.retries;
+        prior_waited = outcome.waited_ticks;
+        TOREX_CHECK(report.fatal.has_value(), "integrity error without a fatal violation");
+        if (!add_corruption_as_faults(torus, corruption, *report.fatal, effective)) {
+          throw;  // unattributable persistent corruption: refuse loudly
+        }
+        ++escalations;
+        failure = IntegrityFailure{report.fatal->phase,   report.fatal->step,
+                                   report.fatal->src,     report.fatal->dst,
+                                   report.fatal->tick,    report.fatal->attempt,
+                                   report.fatal->reason};
+      }
+    }
+  }
+
  private:
+  /// Runs the sealed Suh-Shin exchange over the payloads.
+  template <typename T>
+  std::vector<std::vector<T>> run_sealed(const std::vector<std::vector<T>>& send,
+                                         const CorruptionModel& corruption,
+                                         const IntegrityOptions& options,
+                                         IntegrityReport& report) const {
+    const Rank N = size();
+    const SuhShinAape& algo = *schedule_;
+    ParcelBuffers<T> parcels(static_cast<std::size_t>(N));
+    for (Rank p = 0; p < N; ++p) {
+      auto& buf = parcels[static_cast<std::size_t>(p)];
+      buf.reserve(static_cast<std::size_t>(N));
+      for (Rank q = 0; q < N; ++q) {
+        buf.push_back(
+            {Block{p, q}, send[static_cast<std::size_t>(p)][static_cast<std::size_t>(q)]});
+      }
+    }
+    const auto delivered = exchange_payloads_sealed(
+        algo, std::move(parcels), corruption.tamperer(algo.torus()), options, &report);
+    std::vector<std::vector<T>> recv(static_cast<std::size_t>(N));
+    for (Rank q = 0; q < N; ++q) {
+      auto& row = recv[static_cast<std::size_t>(q)];
+      row.resize(static_cast<std::size_t>(N));
+      for (const auto& parcel : delivered[static_cast<std::size_t>(q)]) {
+        row[static_cast<std::size_t>(parcel.block.origin)] = parcel.payload;
+      }
+    }
+    return recv;
+  }
+
   TorusShape shape_;
   CostParams params_;
   /// Built once in the constructor when the shape qualifies; reused by

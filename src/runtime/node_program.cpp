@@ -1,6 +1,8 @@
 #include "runtime/node_program.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <utility>
 
 #include "core/exchange_engine.hpp"
 #include "util/assert.hpp"
@@ -90,8 +92,10 @@ void NodeProgram::integrate(std::vector<Block> message) {
   buffer_.insert(buffer_.end(), message.begin(), message.end());
 }
 
-StepSynchronousRuntime::StepSynchronousRuntime(const SuhShinAape& algo)
-    : shape_(algo.shape()), total_steps_(static_cast<std::size_t>(algo.total_steps())) {
+StepSynchronousRuntime::StepSynchronousRuntime(const SuhShinAape& algo, StepSyncOptions options)
+    : shape_(algo.shape()),
+      options_(std::move(options)),
+      total_steps_(static_cast<std::size_t>(algo.total_steps())) {
   programs_.reserve(static_cast<std::size_t>(shape_.num_nodes()));
   for (Rank node = 0; node < shape_.num_nodes(); ++node) {
     programs_.emplace_back(extract_local_schedule(algo, node));
@@ -121,7 +125,17 @@ ExchangeTrace StepSynchronousRuntime::run_verified() {
       record.phase = static_cast<int>(phase_index) + 1;
       record.step = step;
       record.hops = phases[phase_index].hops;
+      const auto superstep_start = std::chrono::steady_clock::now();
       for (Rank p = 0; p < N; ++p) {
+        if (options_.cancel != nullptr && options_.cancel->load()) {
+          throw ExchangeCancelledError("step-synchronous runtime cancelled by caller");
+        }
+        if (options_.before_send_hook) options_.before_send_hook(record.phase, record.step, p);
+        if (options_.stall_deadline.count() > 0 &&
+            std::chrono::steady_clock::now() - superstep_start >= options_.stall_deadline) {
+          throw RuntimeStallError(record.phase, record.step, p, options_.stall_deadline,
+                                  "superstep overran its deadline");
+        }
         Rank partner = -1;
         std::vector<Block> message =
             programs_[static_cast<std::size_t>(p)].collect_outgoing(flat, partner);

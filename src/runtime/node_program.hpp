@@ -22,12 +22,16 @@
 // Tests pin the runtime's results against the omniscient engine.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "core/aape.hpp"
 #include "core/block.hpp"
 #include "core/trace.hpp"
+#include "runtime/watchdog.hpp"
 
 namespace torex {
 
@@ -90,20 +94,40 @@ class NodeProgram {
   std::vector<Block> buffer_;
 };
 
+/// Liveness/cancellation options for the lockstep executor.
+struct StepSyncOptions {
+  /// Maximum wall time one superstep may take before the run aborts
+  /// with RuntimeStallError naming the node being processed when the
+  /// deadline passed. Checked cooperatively between nodes (a node that
+  /// never returns is the ctest TIMEOUT backstop's job). 0 disables.
+  std::chrono::milliseconds stall_deadline{30000};
+
+  /// Cooperative cancellation: when non-null and set, the run aborts
+  /// with ExchangeCancelledError at the next node boundary.
+  const std::atomic<bool>* cancel = nullptr;
+
+  /// Fault-injection seam for tests: invoked before each node's
+  /// collect_outgoing.
+  std::function<void(int phase, int step, Rank node)> before_send_hook;
+};
+
 /// Lockstep executor over N node programs with single-writer mailboxes.
 class StepSynchronousRuntime {
  public:
   /// Builds one program per node by extracting local schedules.
-  explicit StepSynchronousRuntime(const SuhShinAape& algo);
+  explicit StepSynchronousRuntime(const SuhShinAape& algo, StepSyncOptions options = {});
 
   /// Runs the whole schedule from the canonical workload, verifies the
-  /// AAPE postcondition, and returns the traffic trace.
+  /// AAPE postcondition, and returns the traffic trace. Throws
+  /// RuntimeStallError when a superstep overruns the stall deadline and
+  /// ExchangeCancelledError on external cancellation.
   ExchangeTrace run_verified();
 
   const std::vector<NodeProgram>& programs() const { return programs_; }
 
  private:
   TorusShape shape_;
+  StepSyncOptions options_;
   std::vector<NodeProgram> programs_;
   std::size_t total_steps_ = 0;
 };

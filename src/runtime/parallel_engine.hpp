@@ -8,16 +8,32 @@
 // locks at all. Two std::barrier rendezvous per step (send, then
 // integrate) keep the supersteps aligned.
 //
+// The runtime is self-checking about its own liveness and error
+// propagation, not just the schedule's postcondition:
+//   * a throw inside a worker is captured (first exception wins) and
+//     rethrown from run_verified on the calling thread — never
+//     std::terminate;
+//   * a watchdog on the calling thread enforces a no-progress deadline
+//     per superstep: a wedged worker surfaces as RuntimeStallError
+//     naming the stuck (phase, step, node) instead of a silent hang;
+//   * cooperative cancellation: workers observe a cancel flag at every
+//     superstep boundary and unwind, and an external flag can request
+//     cancellation mid-run (ExchangeCancelledError).
+//
 // On a many-core host this parallelizes the simulation of large tori;
 // on any host it is a machine-checked witness that the schedule's
 // communication pattern is data-race-free.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <functional>
 
 #include "core/aape.hpp"
 #include "core/exchange_engine.hpp"
 #include "core/trace.hpp"
+#include "runtime/watchdog.hpp"
 
 namespace torex {
 
@@ -25,6 +41,24 @@ namespace torex {
 struct ParallelOptions {
   /// Worker threads; 0 = hardware concurrency.
   int num_threads = 0;
+
+  /// Watchdog: maximum wall time a superstep may go without any worker
+  /// passing a barrier before the run is declared stalled and aborted
+  /// with RuntimeStallError. 0 disables the watchdog.
+  std::chrono::milliseconds stall_deadline{30000};
+
+  /// Cooperative cancellation: when non-null and set to true, workers
+  /// unwind at the next superstep boundary and run_verified throws
+  /// ExchangeCancelledError.
+  const std::atomic<bool>* cancel = nullptr;
+
+  /// Fault-injection seam for tests: invoked in the send half before
+  /// each node is partitioned. Receives the internal cancel flag so a
+  /// deliberately wedged hook can unblock once the watchdog fires. A
+  /// throw from the hook is captured and rethrown like any worker
+  /// exception.
+  std::function<void(int phase, int step, Rank node, const std::atomic<bool>& cancel)>
+      before_send_hook;
 };
 
 /// Runs the exchange with a BSP thread pool. Produces the same final
@@ -36,7 +70,9 @@ class ParallelExchange {
   /// Executes all phases and verifies the AAPE postcondition.
   /// Returns the traffic trace (per-step counts; transfer detail is
   /// aggregated without a deterministic order guarantee across
-  /// threads, so only counts are recorded).
+  /// threads, so only counts are recorded). Throws the first worker
+  /// exception, RuntimeStallError on a watchdog-detected stall, or
+  /// ExchangeCancelledError on external cancellation.
   ExchangeTrace run_verified();
 
   /// Buffers after the last run.

@@ -1,0 +1,61 @@
+// Liveness errors for the step-synchronous runtimes.
+//
+// A wedged worker used to hang the process forever: std::barrier waits
+// are uninterruptible and gtest has no per-test deadline of its own.
+// The runtimes now watch their own progress — a superstep that makes no
+// progress within the stall deadline surfaces as a structured
+// RuntimeStallError naming the stuck (phase, step, node) instead of a
+// silent hang, and cooperative cancellation (an external atomic flag)
+// aborts a run as ExchangeCancelledError at the next superstep
+// boundary. ctest TIMEOUT properties remain the backstop for truly
+// uncooperative code.
+#pragma once
+
+#include <chrono>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "topology/shape.hpp"
+
+namespace torex {
+
+/// Raised when a runtime's watchdog sees no progress for a whole stall
+/// deadline. Carries the schedule coordinates of the stuck superstep
+/// and the node being processed when progress stopped.
+class RuntimeStallError : public std::runtime_error {
+ public:
+  RuntimeStallError(int phase, int step, Rank node, std::chrono::milliseconds deadline,
+                    const std::string& detail)
+      : std::runtime_error(format(phase, step, node, deadline, detail)),
+        phase_(phase),
+        step_(step),
+        node_(node) {}
+
+  int phase() const { return phase_; }
+  int step() const { return step_; }
+  Rank node() const { return node_; }
+
+ private:
+  static std::string format(int phase, int step, Rank node, std::chrono::milliseconds deadline,
+                            const std::string& detail) {
+    std::ostringstream os;
+    os << "runtime stalled: no progress for " << deadline.count() << " ms at phase " << phase
+       << " step " << step << ", node " << node;
+    if (!detail.empty()) os << " (" << detail << ')';
+    return os.str();
+  }
+
+  int phase_;
+  int step_;
+  Rank node_;
+};
+
+/// Raised when a run is abandoned because its cooperative cancellation
+/// flag was set.
+class ExchangeCancelledError : public std::runtime_error {
+ public:
+  explicit ExchangeCancelledError(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace torex

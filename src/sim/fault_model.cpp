@@ -112,6 +112,127 @@ FaultModel& FaultModel::inject_random_node_faults(const Torus& torus, std::uint6
   return *this;
 }
 
+std::string to_string(CorruptionKind kind) {
+  switch (kind) {
+    case CorruptionKind::kBitFlip: return "bit-flip";
+    case CorruptionKind::kTruncate: return "truncate";
+  }
+  TOREX_UNREACHABLE();
+}
+
+std::string CorruptionSpec::describe(const Torus& torus) const {
+  std::ostringstream os;
+  os << to_string(kind) << " corruption on channel " << channel.from << " -> "
+     << torus.neighbor(channel.from, channel.direction) << " (" << dir_text(channel.direction)
+     << "), ";
+  if (permanent()) {
+    os << "permanent from tick " << active_from;
+  } else {
+    os << "transient [" << active_from << ", " << active_until << ")";
+  }
+  return os.str();
+}
+
+CorruptionModel& CorruptionModel::corrupt_channel(Rank from, Direction direction,
+                                                  CorruptionKind kind, std::int64_t active_from,
+                                                  std::int64_t active_until, std::uint64_t seed) {
+  TOREX_REQUIRE(from >= 0, "corrupting channel source must be a valid rank");
+  TOREX_REQUIRE(active_from >= 0 && active_until > active_from,
+                "corruption activation window must be non-empty and start at tick >= 0");
+  CorruptionSpec spec;
+  spec.kind = kind;
+  spec.channel = Channel{from, direction};
+  spec.active_from = active_from;
+  spec.active_until = active_until;
+  spec.seed = seed;
+  specs_.push_back(spec);
+  return *this;
+}
+
+CorruptionModel& CorruptionModel::inject_random_corruptions(const Torus& torus,
+                                                            std::uint64_t seed, int count,
+                                                            std::int64_t active_from,
+                                                            std::int64_t active_until) {
+  TOREX_REQUIRE(count >= 0, "corruption count must be non-negative");
+  TOREX_REQUIRE(count <= torus.num_channels(), "more corrupting channels than channels");
+  SplitMix64 rng(seed);
+  std::vector<ChannelId> chosen;
+  while (static_cast<int>(chosen.size()) < count) {
+    const ChannelId id =
+        static_cast<ChannelId>(rng.next_below(static_cast<std::uint64_t>(torus.num_channels())));
+    if (std::find(chosen.begin(), chosen.end(), id) != chosen.end()) continue;
+    chosen.push_back(id);
+    const Channel ch = torus.channel_of(id);
+    const CorruptionKind kind =
+        rng.next_below(2) == 0 ? CorruptionKind::kBitFlip : CorruptionKind::kTruncate;
+    corrupt_channel(ch.from, ch.direction, kind, active_from, active_until, rng.next());
+  }
+  return *this;
+}
+
+bool CorruptionModel::any_permanent() const {
+  for (const auto& spec : specs_) {
+    if (spec.permanent()) return true;
+  }
+  return false;
+}
+
+std::optional<CorruptionSpec> CorruptionModel::find(const Torus& torus, ChannelId id,
+                                                    std::int64_t tick) const {
+  for (const auto& spec : specs_) {
+    if (!spec.active_at(tick)) continue;
+    if (torus.channel_id(spec.channel.from, spec.channel.direction) == id) return spec;
+  }
+  return std::nullopt;
+}
+
+void CorruptionModel::apply(const CorruptionSpec& spec, const TransferContext& ctx,
+                            std::vector<std::byte>& wire) {
+  if (wire.empty()) return;
+  // Mix the transfer context into the spec seed so repeated hits on the
+  // same channel damage different bits, deterministically.
+  constexpr std::uint64_t kGolden = 0x9E3779B97F4A7C15u;
+  std::uint64_t mix = spec.seed;
+  mix ^= static_cast<std::uint64_t>(ctx.tick) * kGolden;
+  mix ^= static_cast<std::uint64_t>(static_cast<std::int64_t>(ctx.src)) << 32;
+  mix ^= static_cast<std::uint64_t>(static_cast<std::int64_t>(ctx.dst));
+  SplitMix64 rng(mix);
+  switch (spec.kind) {
+    case CorruptionKind::kBitFlip: {
+      const std::uint64_t bit = rng.next_below(static_cast<std::uint64_t>(wire.size()) * 8);
+      wire[static_cast<std::size_t>(bit / 8)] ^=
+          static_cast<std::byte>(1u << static_cast<unsigned>(bit % 8));
+      return;
+    }
+    case CorruptionKind::kTruncate: {
+      // Drop at least one trailing byte, at most half the message (so
+      // small headers and large payloads both exercise short reads).
+      const std::uint64_t max_drop =
+          std::max<std::uint64_t>(1, static_cast<std::uint64_t>(wire.size()) / 2);
+      const std::size_t drop = static_cast<std::size_t>(1 + rng.next_below(max_drop));
+      wire.resize(wire.size() - std::min(drop, wire.size()));
+      return;
+    }
+  }
+  TOREX_UNREACHABLE();
+}
+
+ParcelTamperer CorruptionModel::tamperer(const Torus& torus) const {
+  if (specs_.empty()) return {};
+  return [model = *this, torus](const TransferContext& ctx,
+                                std::vector<std::byte>& wire) -> bool {
+    std::vector<ChannelId> path;
+    torus.straight_path(ctx.src, ctx.direction, ctx.hops, path);
+    for (ChannelId id : path) {
+      const auto spec = model.find(torus, id, ctx.tick);
+      if (!spec) continue;
+      apply(*spec, ctx, wire);
+      return true;
+    }
+    return false;
+  };
+}
+
 bool FaultModel::any_permanent() const {
   for (const auto& spec : specs_) {
     if (spec.permanent()) return true;

@@ -20,6 +20,7 @@
 // when the window never closes.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <limits>
 #include <optional>
@@ -27,6 +28,7 @@
 #include <vector>
 
 #include "core/aape.hpp"
+#include "core/integrity.hpp"
 #include "core/trace.hpp"
 #include "topology/torus.hpp"
 
@@ -118,6 +120,86 @@ class FaultModel {
 
  private:
   std::vector<FaultSpec> specs_;
+};
+
+// --- Corruption faults -------------------------------------------------
+//
+// A corruption fault does not kill a channel — it silently damages the
+// bytes crossing it, which is strictly nastier: routing and the
+// schedule audit see a healthy network. Only the sealed payload
+// exchange (core/payload_exchange.hpp) can observe these, through the
+// ParcelTamperer a CorruptionModel builds. Same deterministic design
+// as FaultModel: directed channels, [active_from, active_until) tick
+// windows, seeded injection.
+
+/// How a corrupting channel damages a message.
+enum class CorruptionKind {
+  kBitFlip,   ///< flips one seeded bit of the wire bytes
+  kTruncate,  ///< drops a seeded number of trailing bytes
+};
+
+std::string to_string(CorruptionKind kind);
+
+/// One corrupting channel with its activation window.
+struct CorruptionSpec {
+  CorruptionKind kind = CorruptionKind::kBitFlip;
+  Channel channel;
+  std::int64_t active_from = 0;
+  std::int64_t active_until = kFaultForever;
+  /// Seeds which bit flips / how many bytes drop; mixed with the
+  /// transfer context so repeated hits corrupt differently but
+  /// deterministically.
+  std::uint64_t seed = 0;
+
+  bool permanent() const { return active_until == kFaultForever; }
+  bool active_at(std::int64_t tick) const {
+    return tick >= active_from && tick < active_until;
+  }
+
+  std::string describe(const Torus& torus) const;
+};
+
+/// A deterministic set of corruption faults. Value type; queries scan
+/// linearly like FaultModel.
+class CorruptionModel {
+ public:
+  CorruptionModel() = default;
+
+  /// Builder (chainable).
+  CorruptionModel& corrupt_channel(Rank from, Direction direction, CorruptionKind kind,
+                                   std::int64_t active_from = 0,
+                                   std::int64_t active_until = kFaultForever,
+                                   std::uint64_t seed = 0);
+
+  /// Seeded injection: appends `count` distinct random corrupting
+  /// channels with random kinds, drawn with SplitMix64(seed).
+  CorruptionModel& inject_random_corruptions(const Torus& torus, std::uint64_t seed, int count,
+                                             std::int64_t active_from = 0,
+                                             std::int64_t active_until = kFaultForever);
+
+  bool empty() const { return specs_.empty(); }
+  std::size_t size() const { return specs_.size(); }
+  const std::vector<CorruptionSpec>& specs() const { return specs_; }
+  bool any_permanent() const;
+
+  /// The first spec corrupting channel `id` at `tick`, if any.
+  std::optional<CorruptionSpec> find(const Torus& torus, ChannelId id,
+                                     std::int64_t tick) const;
+
+  /// Damages `wire` per `spec` (deterministic in spec.seed and the
+  /// transfer context). Exposed for tests.
+  static void apply(const CorruptionSpec& spec, const TransferContext& ctx,
+                    std::vector<std::byte>& wire);
+
+  /// Builds the tamper hook for the sealed payload exchange: a
+  /// transmission whose straight-line route crosses a corrupting
+  /// channel active at its tick gets damaged by the first such spec.
+  /// Captures copies of this model and the torus (safe to outlive
+  /// both).
+  ParcelTamperer tamperer(const Torus& torus) const;
+
+ private:
+  std::vector<CorruptionSpec> specs_;
 };
 
 // --- Schedule audit ----------------------------------------------------

@@ -1,0 +1,74 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) for parcel sealing.
+//
+// The integrity layer checksums every parcel that crosses a simulated
+// channel, so the implementation must be deterministic across
+// platforms, cheap (one table lookup per byte), and incremental (a
+// sealed parcel hashes a header and a payload that live in separate
+// buffers). No hardware CRC instructions: portability beats the last
+// factor of ten here, and the bench (bench_integrity) keeps us honest
+// about the overhead.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+namespace torex {
+
+namespace detail {
+
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) != 0 ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table = make_crc32_table();
+
+}  // namespace detail
+
+/// Incremental CRC-32 accumulator. Feed bytes with update(), read the
+/// finalized digest with value(); value() does not consume the state,
+/// so it can be sampled mid-stream.
+class Crc32 {
+ public:
+  Crc32() = default;
+
+  void update(const void* data, std::size_t len) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    std::uint32_t c = state_;
+    for (std::size_t i = 0; i < len; ++i) {
+      c = detail::kCrc32Table[static_cast<std::size_t>((c ^ bytes[i]) & 0xFFu)] ^ (c >> 8);
+    }
+    state_ = c;
+  }
+
+  /// Hashes the object representation of a trivially copyable value.
+  template <typename T>
+  void update_value(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>, "can only hash trivially copyable values");
+    update(&v, sizeof(T));
+  }
+
+  std::uint32_t value() const { return state_ ^ 0xFFFFFFFFu; }
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+/// One-shot CRC-32 of a byte range.
+inline std::uint32_t crc32(const void* data, std::size_t len) {
+  Crc32 crc;
+  crc.update(data, len);
+  return crc.value();
+}
+
+}  // namespace torex

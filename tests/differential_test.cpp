@@ -113,7 +113,9 @@ TEST(DifferentialTest, CanonicalWorkloadAcrossAllExecutors) {
   ExchangeEngine engine(algo);
   engine.run_verified();
 
-  ParallelExchange parallel(algo, ParallelOptions{3});
+  ParallelOptions popts;
+  popts.num_threads = 3;
+  ParallelExchange parallel(algo, popts);
   parallel.run_verified();
 
   ParcelBuffers<Rank> parcels(static_cast<std::size_t>(N));

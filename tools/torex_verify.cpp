@@ -2,6 +2,7 @@
 //
 //   ./torex_verify [--max-nodes=800] [--max-dims=4] [--flit-level]
 //                  [--layout] [--static-nodes=0] [--faults=0]
+//                  [--chaos=0] [--seed=0]
 //
 // Enumerates every valid torus shape (extents multiples of four, sorted
 // non-increasing) up to the node budget and dimension cap, and runs the
@@ -16,9 +17,17 @@
 //   * optionally (--faults=K) a degraded-mode sweep: K seeded permanent
 //     channel faults injected per shape, the exchange re-run under every
 //     recovery policy, and the AAPE permutation re-checked
-// Exits non-zero on the first failure. This is the tool to run after
-// touching the pattern or schedule code on a machine with more budget
-// than CI.
+//   * optionally (--chaos=R) a chaos differential sweep: R seeded runs
+//     per chaos shape (4x4 and 8x4x4), each injecting a random mix of
+//     corruption faults (bit flips / truncations, transient and
+//     permanent windows) and channel faults, run through the checked
+//     exchange and compared against the sequential oracle. Every run
+//     must either match the oracle exactly or end in a *detected,
+//     attributed* failure — one silently wrong element fails the sweep.
+// --seed=S perturbs every seeded sweep (faults and chaos) and is echoed
+// in the report so failures are reproducible. Exits non-zero on the
+// first failure. This is the tool to run after touching the pattern or
+// schedule code on a machine with more budget than CI.
 #include <iostream>
 #include <vector>
 
@@ -29,6 +38,7 @@
 #include "sim/fault_model.hpp"
 #include "sim/wormhole.hpp"
 #include "util/cli.hpp"
+#include "util/prng.hpp"
 
 namespace {
 
@@ -49,21 +59,22 @@ void enumerate(std::vector<std::int32_t>& prefix, std::int64_t nodes_so_far,
 }
 
 /// Deterministic per-shape seed so fault sweeps are reproducible.
-std::uint64_t shape_seed(const TorusShape& shape) {
+/// `base` is the --seed override (0 keeps the historical stream).
+std::uint64_t shape_seed(const TorusShape& shape, std::uint64_t base) {
   std::uint64_t seed = 0x7072u;
   for (int d = 0; d < shape.num_dims(); ++d) {
     seed = seed * 1000003u + static_cast<std::uint64_t>(shape.extent(d));
   }
-  return seed;
+  return seed ^ (base * 0x9E3779B97F4A7C15u);
 }
 
 /// Re-runs the exchange with `faults_k` seeded permanent channel faults
 /// under every recovery policy and re-checks the AAPE permutation.
 /// Returns false (after printing a FAIL line) on any divergence.
-bool verify_faulted_exchange(const TorusShape& shape, int faults_k) {
+bool verify_faulted_exchange(const TorusShape& shape, int faults_k, std::uint64_t base_seed) {
   const TorusCommunicator comm(shape, CostParams{});
   FaultModel faults;
-  faults.inject_random_channel_faults(Torus(shape), shape_seed(shape), faults_k);
+  faults.inject_random_channel_faults(Torus(shape), shape_seed(shape, base_seed), faults_k);
   const Rank N = comm.size();
   std::vector<std::vector<std::int64_t>> send(static_cast<std::size_t>(N));
   for (Rank p = 0; p < N; ++p) {
@@ -94,17 +105,95 @@ bool verify_faulted_exchange(const TorusShape& shape, int faults_k) {
   return true;
 }
 
+/// Chaos differential sweep over one shape: `runs` seeded rounds, each
+/// injecting a random mix of corruption faults (kind, count, window)
+/// and channel faults, executed through the checked exchange and
+/// compared element-by-element against the trivial oracle
+/// (recv[q][p] == send[p][q]). A run may legitimately end in a thrown,
+/// attributed failure (the integrity layer refusing to deliver); what
+/// it must never do is return silently wrong data or hang. Prints a
+/// per-shape tally and returns false on the first silent corruption.
+bool chaos_sweep(const TorusShape& shape, int runs, std::uint64_t base_seed) {
+  const TorusCommunicator comm(shape, CostParams{});
+  const Torus torus(shape);
+  const Rank N = comm.size();
+  std::vector<std::vector<std::int64_t>> send(static_cast<std::size_t>(N));
+  for (Rank p = 0; p < N; ++p) {
+    auto& row = send[static_cast<std::size_t>(p)];
+    row.reserve(static_cast<std::size_t>(N));
+    for (Rank q = 0; q < N; ++q) row.push_back(static_cast<std::int64_t>(p) * N + q);
+  }
+
+  std::int64_t clean = 0, corrected = 0, escalated = 0, detected = 0;
+  for (int run = 0; run < runs; ++run) {
+    SplitMix64 rng(shape_seed(shape, base_seed) + static_cast<std::uint64_t>(run));
+    // 1-3 corrupting channels; roughly half get a short transient
+    // window (heals under retransmission), the rest are permanent
+    // (must escalate into recovery).
+    CorruptionModel corruption;
+    const int corruptions = 1 + static_cast<int>(rng.next_below(3));
+    for (int c = 0; c < corruptions; ++c) {
+      const std::int64_t until = (rng.next() & 1u) != 0
+                                     ? static_cast<std::int64_t>(1 + rng.next_below(3))
+                                     : kFaultForever;
+      corruption.inject_random_corruptions(torus, rng.next(), 1, 0, until);
+    }
+    // Every other run also loses a channel outright, so corruption
+    // recovery and channel-fault recovery compose.
+    FaultModel faults;
+    if ((run & 1) != 0) faults.inject_random_channel_faults(torus, rng.next(), 1);
+
+    ResilienceOptions options;
+    options.algorithm = AlltoallAlgorithm::kSuhShin;
+    ExchangeOutcome outcome;
+    std::vector<std::vector<std::int64_t>> recv;
+    try {
+      recv = comm.alltoall_checked(send, faults, corruption, outcome, options);
+    } catch (const std::exception& e) {
+      // A loud, attributed refusal is an acceptable chaos outcome —
+      // the property under test is "no silent corruption", not "always
+      // deliverable".
+      ++detected;
+      continue;
+    }
+    for (Rank q = 0; q < N; ++q) {
+      for (Rank p = 0; p < N; ++p) {
+        if (recv[static_cast<std::size_t>(q)][static_cast<std::size_t>(p)] !=
+            send[static_cast<std::size_t>(p)][static_cast<std::size_t>(q)]) {
+          std::cerr << "FAIL " << shape.to_string() << ": SILENT CORRUPTION in chaos run "
+                    << run << " (recv[" << q << "][" << p << "] wrong; " << outcome.summary()
+                    << ")\n";
+          return false;
+        }
+      }
+    }
+    switch (outcome.integrity) {
+      case IntegrityStatus::kClean: ++clean; break;
+      case IntegrityStatus::kCorrected: ++corrected; break;
+      case IntegrityStatus::kEscalated: ++escalated; break;
+    }
+  }
+  std::cout << "  chaos " << shape.to_string() << ": " << runs << " runs — " << clean
+            << " clean, " << corrected << " corrected, " << escalated << " escalated, "
+            << detected << " detected failures, 0 silent corruptions\n";
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
     const CliFlags flags = CliFlags::parse(
-        argc, argv, {"max-nodes", "max-dims", "flit-level", "layout", "static-nodes", "faults"});
+        argc, argv,
+        {"max-nodes", "max-dims", "flit-level", "layout", "static-nodes", "faults", "chaos",
+         "seed"});
     const std::int64_t max_nodes = flags.get_int("max-nodes", 800);
     const int max_dims = static_cast<int>(flags.get_int("max-dims", 4));
     const bool flit_level = flags.get_bool("flit-level", false);
     const bool layout = flags.get_bool("layout", false);
     const int faults_k = static_cast<int>(flags.get_int("faults", 0));
+    const int chaos_runs = static_cast<int>(flags.get_int("chaos", 0));
+    const std::uint64_t base_seed = static_cast<std::uint64_t>(flags.get_int("seed", 0));
 
     std::vector<std::vector<std::int32_t>> shapes;
     {
@@ -122,6 +211,8 @@ int main(int argc, char** argv) {
               << (layout ? ", layout audit on" : "")
               << (flit_level ? ", flit-level on" : "");
     if (faults_k > 0) std::cout << ", fault sweep k=" << faults_k;
+    if (chaos_runs > 0) std::cout << ", chaos runs=" << chaos_runs;
+    if (faults_k > 0 || chaos_runs > 0) std::cout << ", seed=" << base_seed;
     std::cout << "\n";
 
     std::int64_t checked = 0;
@@ -167,11 +258,21 @@ int main(int argc, char** argv) {
           }
         }
       }
-      if (faults_k > 0 && !verify_faulted_exchange(shape, faults_k)) return 1;
+      if (faults_k > 0 && !verify_faulted_exchange(shape, faults_k, base_seed)) return 1;
       ++checked;
       if (checked % 25 == 0) std::cout << "  " << checked << " shapes ok...\n";
     }
     std::cout << "all " << checked << " shapes verified\n";
+
+    // Chaos differential sweep on the two reference shapes (one square
+    // 2D torus, one 3D torus) — small enough to hammer with many seeds,
+    // shaped differently enough to cover both schedule structures.
+    if (chaos_runs > 0) {
+      std::cout << "chaos sweep: " << chaos_runs << " runs/shape, seed=" << base_seed << "\n";
+      for (const auto& extents : std::vector<std::vector<std::int32_t>>{{4, 4}, {8, 4, 4}}) {
+        if (!chaos_sweep(TorusShape(extents), chaos_runs, base_seed)) return 1;
+      }
+    }
 
     // Optional second pass: static contention proofs on shapes far too
     // large to execute (O(N n) per step, no block movement).
