@@ -7,6 +7,34 @@
 
 namespace torex {
 
+namespace {
+
+/// Hoisted telemetry handles so the step loop does no registry lookups.
+struct EngineObs {
+  Recorder* obs = nullptr;
+  Counter* steps = nullptr;
+  Counter* blocks = nullptr;
+  Histogram* latency = nullptr;
+
+  explicit EngineObs(Recorder* recorder) {
+    if (recorder == nullptr || !recorder->enabled()) return;
+    obs = recorder;
+    steps = &recorder->metrics().counter("exchange.steps");
+    blocks = &recorder->metrics().counter("exchange.blocks_moved");
+    latency =
+        &recorder->metrics().histogram("engine.step_latency_ns", default_latency_bounds_ns());
+  }
+
+  void step_done(std::int64_t started_ns, const StepRecord& record) const {
+    if (obs == nullptr) return;
+    steps->add();
+    blocks->add(record.total_blocks);
+    latency->observe(obs->now_ns() - started_ns);
+  }
+};
+
+}  // namespace
+
 ExchangeEngine::ExchangeEngine(const SuhShinAape& algorithm, EngineOptions options)
     : algo_(algorithm), options_(options) {}
 
@@ -46,14 +74,19 @@ ExchangeTrace ExchangeEngine::run_custom(std::vector<std::vector<Block>> initial
   ExchangeTrace trace;
   trace.rearrangement_passes = algo_.num_dims() + 1;
   trace.blocks_per_rearrangement = N;
+  const EngineObs obs(options_.obs);
   for (int phase = 1; phase <= algo_.num_phases(); ++phase) {
+    SpanGuard phase_span(obs.obs, "phase", -1, phase);
     for (int step = 1; step <= algo_.steps_in_phase(phase); ++step) {
+      const std::int64_t started_ns = obs.obs != nullptr ? obs.obs->now_ns() : 0;
+      SpanGuard step_span(obs.obs, "step", -1, phase, step);
       StepRecord record;
       record.phase = phase;
       record.step = step;
       record.hops = algo_.hops_per_step(phase);
       execute_step(phase, step, record);
       if (options_.on_step_end) options_.on_step_end(phase, step, record, buffers_);
+      obs.step_done(started_ns, record);
       trace.steps.push_back(std::move(record));
     }
     if (options_.check_phase_invariants) {
@@ -80,14 +113,19 @@ ExchangeTrace ExchangeEngine::run() {
   trace.blocks_per_rearrangement = algo_.shape().num_nodes();
   trace.steps.reserve(static_cast<std::size_t>(algo_.total_steps()));
 
+  const EngineObs obs(options_.obs);
   for (int phase = 1; phase <= algo_.num_phases(); ++phase) {
+    SpanGuard phase_span(obs.obs, "phase", -1, phase);
     for (int step = 1; step <= algo_.steps_in_phase(phase); ++step) {
+      const std::int64_t started_ns = obs.obs != nullptr ? obs.obs->now_ns() : 0;
+      SpanGuard step_span(obs.obs, "step", -1, phase, step);
       StepRecord record;
       record.phase = phase;
       record.step = step;
       record.hops = algo_.hops_per_step(phase);
       execute_step(phase, step, record);
       if (options_.on_step_end) options_.on_step_end(phase, step, record, buffers_);
+      obs.step_done(started_ns, record);
       trace.steps.push_back(std::move(record));
     }
     if (options_.check_phase_invariants) {

@@ -16,6 +16,7 @@
 #include "core/aape.hpp"
 #include "core/block.hpp"
 #include "core/trace.hpp"
+#include "obs/recorder.hpp"
 
 namespace torex {
 
@@ -35,6 +36,9 @@ struct EngineOptions {
   bool record_transfers = true;
   /// Optional per-step callback (figure benches, debugging).
   StepObserver on_step_end;
+  /// Optional telemetry sink: phase/step spans, step-latency histogram,
+  /// blocks-moved counters. Null (the default) costs nothing.
+  Recorder* obs = nullptr;
 };
 
 /// Checks the AAPE postcondition on arbitrary buffers: node p must hold

@@ -20,6 +20,7 @@
 #include "core/aape.hpp"
 #include "core/block.hpp"
 #include "core/integrity.hpp"
+#include "obs/recorder.hpp"
 #include "util/assert.hpp"
 #include "util/crc32.hpp"
 
@@ -84,13 +85,18 @@ void check_parcel_postcondition(Rank N, const ParcelBuffers<T>& buffers) {
 /// parcel from every origin, all with block.dest == p. Throws on any
 /// violation.
 template <typename T>
-ParcelBuffers<T> exchange_payloads(const SuhShinAape& algo, ParcelBuffers<T> buffers) {
+ParcelBuffers<T> exchange_payloads(const SuhShinAape& algo, ParcelBuffers<T> buffers,
+                                   Recorder* obs = nullptr) {
   const Rank N = algo.shape().num_nodes();
   detail::require_canonical_parcel_seed(N, buffers);
+  if (obs != nullptr && !obs->enabled()) obs = nullptr;
+  SpanGuard exchange_span(obs, "exchange");
 
   ParcelBuffers<T> inbox(static_cast<std::size_t>(N));
   for (int phase = 1; phase <= algo.num_phases(); ++phase) {
+    SpanGuard phase_span(obs, "phase", -1, phase);
     for (int step = 1; step <= algo.steps_in_phase(phase); ++step) {
+      SpanGuard step_span(obs, "step", -1, phase, step);
       for (Rank p = 0; p < N; ++p) {
         auto& buf = buffers[static_cast<std::size_t>(p)];
         auto split = std::stable_partition(buf.begin(), buf.end(), [&](const Parcel<T>& x) {
@@ -254,20 +260,33 @@ template <typename T>
 ParcelBuffers<T> exchange_payloads_sealed(const SuhShinAape& algo, ParcelBuffers<T> buffers,
                                           const ParcelTamperer& tamperer = {},
                                           const IntegrityOptions& options = {},
-                                          IntegrityReport* report_out = nullptr) {
+                                          IntegrityReport* report_out = nullptr,
+                                          Recorder* obs = nullptr) {
   static_assert(std::is_trivially_copyable_v<T>,
                 "sealed exchange requires trivially copyable payloads");
   const Rank N = algo.shape().num_nodes();
   detail::require_canonical_parcel_seed(N, buffers);
   TOREX_REQUIRE(options.max_retransmits >= 0, "retransmit budget must be non-negative");
+  if (obs != nullptr && !obs->enabled()) obs = nullptr;
+  SpanGuard exchange_span(obs, "exchange_sealed");
+  const auto flush_metrics = [&](const IntegrityReport& r) {
+    if (obs == nullptr) return;
+    MetricsRegistry& m = obs->metrics();
+    m.counter("integrity.messages").add(r.messages);
+    m.counter("integrity.parcels").add(r.parcels);
+    m.counter("integrity.retransmits").add(r.retransmits);
+    m.counter("integrity.corrupted").add(r.corrupted);
+  };
 
   IntegrityReport report;
   std::int64_t tick = options.base_tick;
   ParcelBuffers<T> inbox(static_cast<std::size_t>(N));
   std::vector<Parcel<T>> received;
   for (int phase = 1; phase <= algo.num_phases(); ++phase) {
+    SpanGuard phase_span(obs, "phase", -1, phase);
     const int hops = algo.hops_per_step(phase);
     for (int step = 1; step <= algo.steps_in_phase(phase); ++step) {
+      SpanGuard step_span(obs, "step", -1, phase, step);
       // Retransmissions across node pairs overlap in time; the step
       // consumes 1 + (worst retransmit count) ticks.
       std::int64_t extra_ticks = 0;
@@ -302,10 +321,14 @@ ParcelBuffers<T> exchange_payloads_sealed(const SuhShinAape& algo, ParcelBuffers
             ++report.messages;
             report.parcels += static_cast<std::int64_t>(received.size());
             report.retransmits += attempt;
+            if (obs != nullptr && attempt > 0) {
+              obs->instant("retransmit_ok", q, phase, step, attempt);
+            }
             extra_ticks = std::max<std::int64_t>(extra_ticks, attempt);
             break;
           }
           ++report.corrupted;
+          if (obs != nullptr) obs->instant("corrupted", q, phase, step, attempt);
           IntegrityViolation violation;
           violation.phase = phase;
           violation.step = step;
@@ -323,6 +346,8 @@ ParcelBuffers<T> exchange_payloads_sealed(const SuhShinAape& algo, ParcelBuffers
             report.retransmits += attempt;
             report.fatal = violation;
             report.final_tick = ctx.tick;
+            if (obs != nullptr) obs->instant("integrity_fatal", q, phase, step, attempt);
+            flush_metrics(report);
             if (report_out != nullptr) *report_out = report;
             throw IntegrityError("integrity failure: " + violation.describe() +
                                      " (retransmit budget exhausted)",
@@ -343,6 +368,7 @@ ParcelBuffers<T> exchange_payloads_sealed(const SuhShinAape& algo, ParcelBuffers
   }
   report.final_tick = tick;
   detail::check_parcel_postcondition(N, buffers);
+  flush_metrics(report);
   if (report_out != nullptr) *report_out = report;
   return buffers;
 }

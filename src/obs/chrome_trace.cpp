@@ -1,0 +1,460 @@
+#include "obs/chrome_trace.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <map>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+#include "util/table.hpp"
+
+namespace torex {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+std::string format_ts_us(std::int64_t ns) {
+  // Microseconds with nanosecond resolution, without float rounding.
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%lld.%03lld", static_cast<long long>(ns / 1000),
+                static_cast<long long>(ns % 1000));
+  return buf;
+}
+
+int pid_of(std::int32_t node) { return node + 1; }  // pid 0 = run scope
+
+void write_event_common(std::ostream& os, const TelemetryEvent& e, const char* ph) {
+  os << "{\"name\":\"" << json_escape(e.name) << "\",\"ph\":\"" << ph
+     << "\",\"pid\":" << pid_of(e.node) << ",\"tid\":" << e.tid
+     << ",\"ts\":" << format_ts_us(e.ts_ns);
+}
+
+void write_args(std::ostream& os, const TelemetryEvent& e) {
+  os << ",\"args\":{";
+  bool first = true;
+  const auto field = [&](const char* key, std::int64_t value) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << key << "\":" << value;
+  };
+  if (e.phase != 0) field("phase", e.phase);
+  if (e.step != 0) field("step", e.step);
+  if (e.kind == EventKind::kCounter || e.value != 0) field("value", e.value);
+  os << '}';
+}
+
+}  // namespace
+
+std::vector<SpanInstance> pair_spans(const Telemetry& telemetry) {
+  std::vector<SpanInstance> spans;
+  // Open-span stacks keyed by the full identity; LIFO close handles
+  // recursive same-name nesting.
+  using Key = std::tuple<int, std::string, std::int32_t, std::int32_t, std::int32_t>;
+  std::map<Key, std::vector<std::size_t>> open;
+  for (const TelemetryEvent& e : telemetry.events) {
+    if (e.kind == EventKind::kBegin) {
+      SpanInstance span;
+      span.name = e.name;
+      span.begin_ns = e.ts_ns;
+      span.end_ns = telemetry.wall_ns;  // provisional: closed below if matched
+      span.tid = e.tid;
+      span.node = e.node;
+      span.phase = e.phase;
+      span.step = e.step;
+      open[Key{e.tid, e.name, e.node, e.phase, e.step}].push_back(spans.size());
+      spans.push_back(std::move(span));
+    } else if (e.kind == EventKind::kEnd) {
+      auto it = open.find(Key{e.tid, e.name, e.node, e.phase, e.step});
+      if (it == open.end() || it->second.empty()) continue;  // stray end
+      spans[it->second.back()].end_ns = e.ts_ns;
+      it->second.pop_back();
+    }
+  }
+  return spans;
+}
+
+void write_chrome_trace(std::ostream& os, const Telemetry& telemetry) {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) os << ",\n";
+    first = false;
+  };
+
+  // Process-name metadata: one process per torus node plus the run scope.
+  std::set<std::int32_t> nodes;
+  for (const TelemetryEvent& e : telemetry.events) nodes.insert(e.node);
+  for (const std::int32_t node : nodes) {
+    sep();
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid_of(node)
+       << ",\"args\":{\"name\":\"";
+    if (node < 0) {
+      os << "run";
+    } else {
+      os << "node " << node;
+    }
+    os << "\"}}";
+  }
+
+  for (const TelemetryEvent& e : telemetry.events) {
+    switch (e.kind) {
+      case EventKind::kBegin:
+        sep();
+        write_event_common(os, e, "B");
+        write_args(os, e);
+        os << '}';
+        break;
+      case EventKind::kEnd:
+        sep();
+        write_event_common(os, e, "E");
+        os << '}';
+        break;
+      case EventKind::kInstant:
+        sep();
+        write_event_common(os, e, "i");
+        os << ",\"s\":\"t\"";
+        write_args(os, e);
+        os << '}';
+        break;
+      case EventKind::kCounter:
+        sep();
+        write_event_common(os, e, "C");
+        write_args(os, e);
+        os << '}';
+        break;
+    }
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+std::string chrome_trace_json(const Telemetry& telemetry) {
+  std::ostringstream os;
+  write_chrome_trace(os, telemetry);
+  return os.str();
+}
+
+namespace {
+
+/// Recursive-descent RFC 8259 checker over a byte string.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  bool run(std::string* error) {
+    skip_ws();
+    if (!value()) return fail(error);
+    skip_ws();
+    if (pos_ != text_.size()) {
+      reason_ = "trailing characters after top-level value";
+      return fail(error);
+    }
+    return true;
+  }
+
+ private:
+  bool fail(std::string* error) const {
+    if (error != nullptr) {
+      *error = "offset " + std::to_string(pos_) + ": " +
+               (reason_.empty() ? "malformed JSON" : reason_);
+    }
+    return false;
+  }
+
+  bool eof() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+
+  void skip_ws() {
+    while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\n' || peek() == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool literal(const char* word) {
+    const std::size_t len = std::char_traits<char>::length(word);
+    if (text_.compare(pos_, len, word) != 0) {
+      reason_ = "bad literal";
+      return false;
+    }
+    pos_ += len;
+    return true;
+  }
+
+  bool value() {
+    if (++depth_ > kMaxDepth) {
+      reason_ = "nesting too deep";
+      return false;
+    }
+    bool ok = false;
+    if (eof()) {
+      reason_ = "unexpected end of input";
+    } else {
+      switch (peek()) {
+        case '{': ok = object(); break;
+        case '[': ok = array(); break;
+        case '"': ok = string(); break;
+        case 't': ok = literal("true"); break;
+        case 'f': ok = literal("false"); break;
+        case 'n': ok = literal("null"); break;
+        default: ok = number(); break;
+      }
+    }
+    --depth_;
+    return ok;
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (eof() || peek() != '"') {
+        reason_ = "expected object key string";
+        return false;
+      }
+      if (!string()) return false;
+      skip_ws();
+      if (eof() || peek() != ':') {
+        reason_ = "expected ':' after object key";
+        return false;
+      }
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (!eof() && peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (!eof() && peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      reason_ = "expected ',' or '}' in object";
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (!eof() && peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (!eof() && peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      reason_ = "expected ',' or ']' in array";
+      return false;
+    }
+  }
+
+  bool string() {
+    ++pos_;  // '"'
+    while (!eof()) {
+      const unsigned char ch = static_cast<unsigned char>(text_[pos_]);
+      if (ch == '"') {
+        ++pos_;
+        return true;
+      }
+      if (ch < 0x20) {
+        reason_ = "unescaped control character in string";
+        return false;
+      }
+      if (ch == '\\') {
+        ++pos_;
+        if (eof()) break;
+        const char esc = text_[pos_];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (eof() || std::isxdigit(static_cast<unsigned char>(text_[pos_])) == 0) {
+              reason_ = "bad \\u escape";
+              return false;
+            }
+          }
+        } else if (esc != '"' && esc != '\\' && esc != '/' && esc != 'b' && esc != 'f' &&
+                   esc != 'n' && esc != 'r' && esc != 't') {
+          reason_ = "bad escape character";
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    reason_ = "unterminated string";
+    return false;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (!eof() && peek() == '-') ++pos_;
+    if (eof() || std::isdigit(static_cast<unsigned char>(peek())) == 0) {
+      reason_ = "expected value";
+      return false;
+    }
+    if (peek() == '0') {
+      ++pos_;
+    } else {
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    }
+    if (!eof() && peek() == '.') {
+      ++pos_;
+      if (eof() || std::isdigit(static_cast<unsigned char>(peek())) == 0) {
+        reason_ = "digit required after decimal point";
+        return false;
+      }
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (eof() || std::isdigit(static_cast<unsigned char>(peek())) == 0) {
+        reason_ = "digit required in exponent";
+        return false;
+      }
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  static constexpr int kMaxDepth = 256;
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+  std::string reason_;
+};
+
+}  // namespace
+
+bool json_well_formed(const std::string& text, std::string* error) {
+  return JsonChecker(text).run(error);
+}
+
+PhaseSummary summarize_vs_model(const Telemetry& telemetry, const ExchangeTrace& trace,
+                                const CostParams& params) {
+  PhaseSummary out;
+  out.dropped_events = telemetry.dropped_events;
+  out.streams = telemetry.streams;
+
+  // Model: price each schedule step with the paper's per-step formula
+  // and attribute it to its phase. Summing the column reproduces the
+  // Table-1 totals because the trace's counts match the closed forms.
+  std::map<int, PhaseSummaryRow> by_phase;
+  for (const StepRecord& s : trace.steps) {
+    PhaseSummaryRow& row = by_phase[s.phase];
+    row.steps += 1;
+    row.model_cost += params.t_s +
+                      static_cast<double>(s.max_blocks_per_node) *
+                          static_cast<double>(params.m) * params.t_c +
+                      static_cast<double>(s.hops) * params.t_l;
+  }
+
+  // Measured: the wall extent of each phase's spans. max(end) -
+  // min(begin) attributes parallel workers' overlapping spans once.
+  std::map<int, std::pair<std::int64_t, std::int64_t>> extent;  // phase -> {min, max}
+  std::int64_t rearrange_ns = 0;
+  for (const SpanInstance& span : pair_spans(telemetry)) {
+    if (span.name == "rearrange") {
+      rearrange_ns += span.duration_ns();
+      continue;
+    }
+    if (span.phase <= 0) continue;
+    auto [it, fresh] = extent.try_emplace(span.phase, span.begin_ns, span.end_ns);
+    if (!fresh) {
+      it->second.first = std::min(it->second.first, span.begin_ns);
+      it->second.second = std::max(it->second.second, span.end_ns);
+    }
+  }
+
+  PhaseSummaryRow total;
+  total.label = "total";
+  for (auto& [phase, row] : by_phase) {
+    row.label = "phase " + std::to_string(phase);
+    const auto it = extent.find(phase);
+    if (it != extent.end()) row.measured_ns = it->second.second - it->second.first;
+    total.steps += row.steps;
+    total.measured_ns += row.measured_ns;
+    total.model_cost += row.model_cost;
+    out.rows.push_back(row);
+  }
+
+  PhaseSummaryRow rearrange;
+  rearrange.label = "rearrangement";
+  rearrange.measured_ns = rearrange_ns;
+  rearrange.model_cost = static_cast<double>(trace.rearrangement_passes) *
+                         static_cast<double>(trace.blocks_per_rearrangement) *
+                         static_cast<double>(params.m) * params.rho;
+  total.measured_ns += rearrange.measured_ns;
+  total.model_cost += rearrange.model_cost;
+  out.rows.push_back(rearrange);
+  out.rows.push_back(total);
+  return out;
+}
+
+void print_phase_summary(std::ostream& os, const PhaseSummary& summary) {
+  TextTable table({"phase", "steps", "measured (us)", "meas %", "model cost", "model %"});
+  table.set_align(0, TextTable::Align::kLeft);
+  std::int64_t total_ns = 0;
+  double total_model = 0.0;
+  for (const PhaseSummaryRow& row : summary.rows) {
+    if (row.label == "total") {
+      total_ns = row.measured_ns;
+      total_model = row.model_cost;
+    }
+  }
+  for (const PhaseSummaryRow& row : summary.rows) {
+    table.start_row()
+        .cell(row.label)
+        .cell(row.steps)
+        .cell(static_cast<double>(row.measured_ns) / 1000.0, 1)
+        .cell(total_ns > 0 ? 100.0 * static_cast<double>(row.measured_ns) /
+                                 static_cast<double>(total_ns)
+                           : 0.0,
+              1)
+        .cell(row.model_cost, 1)
+        .cell(total_model > 0.0 ? 100.0 * row.model_cost / total_model : 0.0, 1);
+  }
+  table.print(os);
+  os << "telemetry: " << summary.streams << " stream(s), " << summary.dropped_events
+     << " dropped event(s)\n";
+}
+
+}  // namespace torex

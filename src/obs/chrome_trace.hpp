@@ -1,0 +1,85 @@
+// Chrome trace-event export and the measured-vs-model phase summary.
+//
+// A Telemetry snapshot becomes a `chrome://tracing` / Perfetto loadable
+// JSON document: one process per torus node (pid 0 is the run scope),
+// one thread per recording stream, duration events for spans, instant
+// events for point occurrences, and counter tracks for sampled values.
+//
+// The same snapshot, joined with the schedule's ExchangeTrace, yields a
+// per-phase summary: measured wall time next to the paper's
+// four-parameter model prediction (each step priced as
+// t_s + B*m*t_c + h*t_l, rearrangement as passes*blocks*m*rho), so
+// measured-vs-predicted skew is visible side by side.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/trace.hpp"
+#include "costmodel/params.hpp"
+#include "obs/recorder.hpp"
+
+namespace torex {
+
+/// A matched begin/end pair recovered from a snapshot's event stream.
+struct SpanInstance {
+  std::string name;
+  std::int64_t begin_ns = 0;
+  std::int64_t end_ns = 0;
+  int tid = 0;
+  std::int32_t node = -1;
+  std::int32_t phase = 0;
+  std::int32_t step = 0;
+
+  std::int64_t duration_ns() const { return end_ns - begin_ns; }
+};
+
+/// Pairs kBegin/kEnd events into spans. Matching is per (tid, name,
+/// node, phase, step) in LIFO order, which handles recursive same-name
+/// nesting; unmatched begins are closed at the snapshot's wall_ns so a
+/// crashed or stalled span still shows its extent.
+std::vector<SpanInstance> pair_spans(const Telemetry& telemetry);
+
+/// Writes the snapshot as a Chrome trace-event JSON object
+/// (`{"traceEvents": [...]}`). pid = node + 1 (0 = run scope),
+/// tid = recording stream, ts in microseconds.
+void write_chrome_trace(std::ostream& os, const Telemetry& telemetry);
+
+/// write_chrome_trace into a string.
+std::string chrome_trace_json(const Telemetry& telemetry);
+
+/// Minimal strict JSON well-formedness check (RFC 8259 grammar, no
+/// semantics). Used by tests and tools to validate emitted traces
+/// without an external parser. On failure returns false and, when
+/// `error` is non-null, stores a byte offset + reason message.
+bool json_well_formed(const std::string& text, std::string* error = nullptr);
+
+/// One row of the measured-vs-model summary.
+struct PhaseSummaryRow {
+  std::string label;            ///< "phase 1", ..., "rearrangement", "total"
+  std::int64_t steps = 0;       ///< schedule steps in this phase
+  std::int64_t measured_ns = 0; ///< wall extent of this phase's spans
+  double model_cost = 0.0;      ///< four-parameter model prediction (unitless)
+};
+
+/// Per-phase join of telemetry against the schedule trace and model.
+struct PhaseSummary {
+  std::vector<PhaseSummaryRow> rows;  ///< per phase, then rearrangement, then total
+  std::int64_t dropped_events = 0;
+  int streams = 0;
+};
+
+/// Builds the summary: measured time per phase (max end - min begin over
+/// that phase's spans, so both sequential and parallel runs attribute
+/// correctly) against the model cost of the same phase's trace steps.
+/// The rearrangement row prices the trace's recorded passes; summing
+/// the model column reproduces the paper's Table 1 totals.
+PhaseSummary summarize_vs_model(const Telemetry& telemetry, const ExchangeTrace& trace,
+                                const CostParams& params);
+
+/// Prints the summary as an aligned text table with share-of-total
+/// percentages for both the measured and model columns.
+void print_phase_summary(std::ostream& os, const PhaseSummary& summary);
+
+}  // namespace torex

@@ -1,0 +1,124 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+
+namespace torex {
+
+Histogram::Histogram(std::vector<std::int64_t> upper_bounds) : bounds_(std::move(upper_bounds)) {
+  TOREX_REQUIRE(!bounds_.empty(), "histogram needs at least one bucket bound");
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    TOREX_REQUIRE(bounds_[i - 1] < bounds_[i], "histogram bounds must be strictly increasing");
+  }
+  buckets_ = std::make_unique<std::atomic<std::int64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void Histogram::observe(std::int64_t value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const std::size_t bucket = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  // First observation seeds min/max; later ones CAS toward the extremes.
+  if (count_.fetch_add(1, std::memory_order_relaxed) == 0) {
+    min_.store(value, std::memory_order_relaxed);
+    max_.store(value, std::memory_order_relaxed);
+    return;
+  }
+  std::int64_t seen = min_.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<std::int64_t> Histogram::bucket_counts() const {
+  std::vector<std::int64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+std::int64_t Histogram::min() const { return min_.load(std::memory_order_relaxed); }
+std::int64_t Histogram::max() const { return max_.load(std::memory_order_relaxed); }
+
+std::int64_t MetricsSnapshot::counter_value(const std::string& name) const {
+  for (const auto& c : counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (gauges_.count(name) != 0 || histograms_.count(name) != 0) {
+    throw std::logic_error("metric '" + name + "' already registered with another kind");
+  }
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (counters_.count(name) != 0 || histograms_.count(name) != 0) {
+    throw std::logic_error("metric '" + name + "' already registered with another kind");
+  }
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<std::int64_t> upper_bounds) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (counters_.count(name) != 0 || gauges_.count(name) != 0) {
+    throw std::logic_error("metric '" + name + "' already registered with another kind");
+  }
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(upper_bounds));
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  MetricsSnapshot out;
+  out.counters.reserve(counters_.size());
+  for (const auto& [name, metric] : counters_) {
+    out.counters.push_back({name, metric->value()});
+  }
+  out.gauges.reserve(gauges_.size());
+  for (const auto& [name, metric] : gauges_) {
+    out.gauges.push_back({name, metric->value()});
+  }
+  out.histograms.reserve(histograms_.size());
+  for (const auto& [name, metric] : histograms_) {
+    HistogramSnapshot h;
+    h.name = name;
+    h.bounds = metric->bounds();
+    h.counts = metric->bucket_counts();
+    h.count = metric->count();
+    h.sum = metric->sum();
+    h.min = metric->min();
+    h.max = metric->max();
+    out.histograms.push_back(std::move(h));
+  }
+  return out;  // std::map iteration is already name-sorted
+}
+
+std::vector<std::int64_t> default_latency_bounds_ns() {
+  // 1us, 2us, 4us, ... ~1s (21 octaves).
+  std::vector<std::int64_t> bounds;
+  for (std::int64_t b = 1000; b <= 1'048'576'000; b *= 2) bounds.push_back(b);
+  return bounds;
+}
+
+}  // namespace torex

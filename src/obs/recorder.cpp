@@ -1,0 +1,185 @@
+#include "obs/recorder.hpp"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <thread>
+
+namespace torex {
+
+namespace {
+
+/// Bounded single-writer event buffer. The owning thread appends with a
+/// release publish; the merge reads the published prefix with acquire.
+/// Preallocated — the hot path never allocates, never locks.
+class EventBuffer {
+ public:
+  EventBuffer(std::size_t capacity, int tid)
+      : events_(std::make_unique<Event[]>(capacity)), capacity_(capacity), tid_(tid) {}
+
+  void push(const Event& event) {
+    const std::size_t at = size_.load(std::memory_order_relaxed);
+    if (at >= capacity_) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    events_[at] = event;
+    size_.store(at + 1, std::memory_order_release);
+  }
+
+  std::size_t published() const { return size_.load(std::memory_order_acquire); }
+  const Event& at(std::size_t i) const { return events_[i]; }
+  std::int64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+  int tid() const { return tid_; }
+
+ private:
+  std::unique_ptr<Event[]> events_;
+  const std::size_t capacity_;
+  const int tid_;
+  std::atomic<std::size_t> size_{0};
+  std::atomic<std::int64_t> dropped_{0};
+};
+
+/// Thread-local fast path: the buffer this thread used last, keyed by
+/// the owning recorder's unique id (ids are never reused, so a stale
+/// entry can never alias a different live recorder). The shared_ptr pin
+/// keeps the buffer alive even after the recorder state is gone.
+struct TlsEntry {
+  std::uint64_t recorder_id = 0;
+  EventBuffer* buffer = nullptr;
+  std::shared_ptr<EventBuffer> pin;
+};
+
+thread_local TlsEntry tls_entry;
+
+std::atomic<std::uint64_t> next_recorder_id{1};
+
+}  // namespace
+
+struct Recorder::State {
+  explicit State(ObsOptions opts)
+      : options(opts),
+        id(next_recorder_id.fetch_add(1, std::memory_order_relaxed)),
+        epoch(std::chrono::steady_clock::now()) {}
+
+  EventBuffer& buffer_for_this_thread() {
+    std::lock_guard<std::mutex> lk(mu);
+    auto& slot = by_thread[std::this_thread::get_id()];
+    if (!slot) {
+      slot = std::make_shared<EventBuffer>(options.events_per_thread,
+                                           static_cast<int>(buffers.size()));
+      buffers.push_back(slot);
+    }
+    tls_entry.recorder_id = id;
+    tls_entry.buffer = slot.get();
+    tls_entry.pin = slot;
+    return *slot;
+  }
+
+  const ObsOptions options;
+  const std::uint64_t id;
+  const std::chrono::steady_clock::time_point epoch;
+  MetricsRegistry metrics;
+  std::mutex mu;
+  std::map<std::thread::id, std::shared_ptr<EventBuffer>> by_thread;
+  std::vector<std::shared_ptr<EventBuffer>> buffers;  // merge order = tid order
+};
+
+Recorder::Recorder(ObsOptions options) : state_(std::make_shared<State>(options)) {}
+
+bool Recorder::enabled() const { return state_->options.enabled; }
+
+std::int64_t Recorder::now_ns() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::steady_clock::now() -
+                                                              state_->epoch)
+      .count();
+}
+
+void Recorder::record(EventKind kind, const char* name, std::int32_t node, std::int32_t phase,
+                      std::int32_t step, std::int64_t value) {
+  State& state = *state_;
+  if (!state.options.enabled) return;
+  EventBuffer* buffer = tls_entry.recorder_id == state.id ? tls_entry.buffer
+                                                          : &state.buffer_for_this_thread();
+  Event event;
+  event.name = name;
+  event.ts_ns = now_ns();
+  event.value = value;
+  event.node = node;
+  event.phase = phase;
+  event.step = step;
+  event.kind = kind;
+  buffer->push(event);
+}
+
+void Recorder::begin(const char* name, std::int32_t node, std::int32_t phase,
+                     std::int32_t step) {
+  record(EventKind::kBegin, name, node, phase, step, 0);
+}
+
+void Recorder::end(const char* name, std::int32_t node, std::int32_t phase, std::int32_t step) {
+  record(EventKind::kEnd, name, node, phase, step, 0);
+}
+
+void Recorder::instant(const char* name, std::int32_t node, std::int32_t phase,
+                       std::int32_t step, std::int64_t value) {
+  record(EventKind::kInstant, name, node, phase, step, value);
+}
+
+void Recorder::counter(const char* name, std::int64_t value, std::int32_t node) {
+  record(EventKind::kCounter, name, node, 0, 0, value);
+}
+
+MetricsRegistry& Recorder::metrics() { return state_->metrics; }
+
+std::int64_t Recorder::dropped_events() const {
+  State& state = *state_;
+  std::lock_guard<std::mutex> lk(state.mu);
+  std::int64_t dropped = 0;
+  for (const auto& buffer : state.buffers) dropped += buffer->dropped();
+  return dropped;
+}
+
+Telemetry Recorder::snapshot() const {
+  State& state = *state_;
+  Telemetry out;
+  std::vector<std::shared_ptr<EventBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lk(state.mu);
+    buffers = state.buffers;
+  }
+  out.streams = static_cast<int>(buffers.size());
+  std::size_t total = 0;
+  for (const auto& buffer : buffers) {
+    out.dropped_events += buffer->dropped();
+    total += buffer->published();
+  }
+  out.events.reserve(total);
+  for (const auto& buffer : buffers) {
+    const std::size_t n = buffer->published();
+    for (std::size_t i = 0; i < n; ++i) {
+      const Event& e = buffer->at(i);
+      TelemetryEvent te;
+      te.kind = e.kind;
+      te.name = e.name;
+      te.ts_ns = e.ts_ns;
+      te.value = e.value;
+      te.tid = buffer->tid();
+      te.node = e.node;
+      te.phase = e.phase;
+      te.step = e.step;
+      out.events.push_back(std::move(te));
+      out.wall_ns = std::max(out.wall_ns, e.ts_ns);
+    }
+  }
+  // Stable so same-timestamp events keep their per-thread order (begin
+  // before end for zero-length spans).
+  std::stable_sort(out.events.begin(), out.events.end(),
+                   [](const TelemetryEvent& a, const TelemetryEvent& b) {
+                     return a.ts_ns < b.ts_ns;
+                   });
+  out.metrics = state.metrics.snapshot();
+  return out;
+}
+
+}  // namespace torex

@@ -152,7 +152,7 @@ ExchangeOutcome TorusCommunicator::plan_resilient(const FaultModel& faults,
       (chosen == AlltoallAlgorithm::kSuhShin && schedule_.has_value()) ? &*schedule_ : nullptr;
   const RecoveryDecision decision =
       decide_recovery(torus, schedule, faults, options.policy, options.backoff,
-                      options.start_tick);
+                      options.start_tick, options.obs);
   out.policy = decision.policy;
   out.attempts = decision.attempts;
   out.retries = decision.retries;

@@ -115,6 +115,9 @@ struct ResilienceOptions {
   BackoffConfig backoff{};
   std::int64_t start_tick = 0;   ///< fault tick the first attempt starts at
   std::int64_t block_bytes = 0;  ///< 0: use sizeof(T)
+  /// Optional telemetry sink: plan/execute/verify/escalate spans plus
+  /// integrity and recovery counters.
+  Recorder* obs = nullptr;
 };
 
 /// Collective context bound to one torus and one parameter set.
@@ -143,12 +146,15 @@ class TorusCommunicator {
   std::vector<std::vector<T>> alltoall(const std::vector<std::vector<T>>& send,
                                        AlltoallAlgorithm algorithm = AlltoallAlgorithm::kAuto,
                                        std::int64_t block_bytes = sizeof(T),
-                                       double* modeled_time = nullptr) const {
+                                       double* modeled_time = nullptr,
+                                       Recorder* obs = nullptr) const {
     const Rank N = size();
     TOREX_REQUIRE(static_cast<Rank>(send.size()) == N, "send buffer must have N rows");
     for (const auto& row : send) {
       TOREX_REQUIRE(static_cast<Rank>(row.size()) == N, "send rows must have N entries");
     }
+    if (obs != nullptr && !obs->enabled()) obs = nullptr;
+    SpanGuard alltoall_span(obs, "alltoall");
     AlltoallAlgorithm chosen =
         algorithm == AlltoallAlgorithm::kAuto ? select(block_bytes) : algorithm;
     if (modeled_time != nullptr) *modeled_time = estimate(chosen, block_bytes).total();
@@ -166,7 +172,8 @@ class TorusCommunicator {
           buf.push_back({Block{p, q}, send[static_cast<std::size_t>(p)][static_cast<std::size_t>(q)]});
         }
       }
-      const auto delivered = exchange_payloads(algo, std::move(parcels));
+      const auto delivered = exchange_payloads(algo, std::move(parcels), obs);
+      SpanGuard permute_span(obs, "permute");
       std::vector<std::vector<T>> recv(static_cast<std::size_t>(N));
       for (Rank q = 0; q < N; ++q) {
         auto& row = recv[static_cast<std::size_t>(q)];
@@ -240,8 +247,13 @@ class TorusCommunicator {
                                                  const ResilienceOptions& options = {}) const {
     const std::int64_t bytes =
         options.block_bytes > 0 ? options.block_bytes : static_cast<std::int64_t>(sizeof(T));
-    outcome = plan_resilient(faults, options, bytes);
-    return alltoall(send, outcome.algorithm, bytes, nullptr);
+    Recorder* obs = options.obs != nullptr && options.obs->enabled() ? options.obs : nullptr;
+    SpanGuard resilient_span(obs, "alltoall_resilient");
+    {
+      SpanGuard plan_span(obs, "plan");
+      outcome = plan_resilient(faults, options, bytes);
+    }
+    return alltoall(send, outcome.algorithm, bytes, nullptr, obs);
   }
 
   /// Planning half of alltoall_resilient: audit + recovery decision +
@@ -278,6 +290,8 @@ class TorusCommunicator {
     }
     const std::int64_t bytes =
         options.block_bytes > 0 ? options.block_bytes : static_cast<std::int64_t>(sizeof(T));
+    Recorder* obs = options.obs != nullptr && options.obs->enabled() ? options.obs : nullptr;
+    SpanGuard checked_span(obs, "alltoall_checked");
     FaultModel effective = faults;
     std::int64_t corrupted = 0;
     std::int64_t retransmits = 0;
@@ -292,7 +306,10 @@ class TorusCommunicator {
     // Each escalation converts at least one corrupting channel into a
     // channel fault, so the loop ends within |corruption| rounds.
     while (true) {
-      outcome = plan_resilient(effective, options, bytes);
+      {
+        SpanGuard plan_span(obs, "plan");
+        outcome = plan_resilient(effective, options, bytes);
+      }
       outcome.attempts += prior_attempts;
       outcome.retries += prior_retries;
       outcome.waited_ticks += prior_waited;
@@ -306,13 +323,14 @@ class TorusCommunicator {
         // Degraded/baseline realizations are permutation-level
         // simulations (see alltoall) — a remapped plan does not run the
         // pristine schedule, so nothing crosses the sealed wire.
-        return alltoall(send, outcome.algorithm, bytes, nullptr);
+        return alltoall(send, outcome.algorithm, bytes, nullptr, obs);
       }
       IntegrityOptions iopts = integrity;
       iopts.base_tick = outcome.run_tick;
       try {
         IntegrityReport report;
-        auto recv = run_sealed<T>(send, corruption, iopts, report);
+        SpanGuard verify_span(obs, "verify");
+        auto recv = run_sealed<T>(send, corruption, iopts, report, obs);
         outcome.corrupted_messages += report.corrupted;
         outcome.retransmits += report.retransmits;
         if (outcome.integrity == IntegrityStatus::kClean && !report.clean()) {
@@ -332,6 +350,11 @@ class TorusCommunicator {
           throw;  // unattributable persistent corruption: refuse loudly
         }
         ++escalations;
+        if (obs != nullptr) {
+          obs->instant("escalate", report.fatal->dst, report.fatal->phase, report.fatal->step,
+                       escalations);
+          obs->metrics().counter("integrity.escalations").add();
+        }
         failure = IntegrityFailure{report.fatal->phase,   report.fatal->step,
                                    report.fatal->src,     report.fatal->dst,
                                    report.fatal->tick,    report.fatal->attempt,
@@ -346,7 +369,8 @@ class TorusCommunicator {
   std::vector<std::vector<T>> run_sealed(const std::vector<std::vector<T>>& send,
                                          const CorruptionModel& corruption,
                                          const IntegrityOptions& options,
-                                         IntegrityReport& report) const {
+                                         IntegrityReport& report,
+                                         Recorder* obs = nullptr) const {
     const Rank N = size();
     const SuhShinAape& algo = *schedule_;
     ParcelBuffers<T> parcels(static_cast<std::size_t>(N));
@@ -359,7 +383,7 @@ class TorusCommunicator {
       }
     }
     const auto delivered = exchange_payloads_sealed(
-        algo, std::move(parcels), corruption.tamperer(algo.torus()), options, &report);
+        algo, std::move(parcels), corruption.tamperer(algo.torus()), options, &report, obs);
     std::vector<std::vector<T>> recv(static_cast<std::size_t>(N));
     for (Rank q = 0; q < N; ++q) {
       auto& row = recv[static_cast<std::size_t>(q)];

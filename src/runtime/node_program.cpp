@@ -118,13 +118,17 @@ ExchangeTrace StepSynchronousRuntime::run_verified() {
   // Reconstruct the (phase, step) labels from any one program's local
   // phase table (it is identical across nodes).
   const auto& phases = programs_.front().schedule().phases;
+  Recorder* obs =
+      options_.obs != nullptr && options_.obs->enabled() ? options_.obs : nullptr;
   std::size_t flat = 0;
   for (std::size_t phase_index = 0; phase_index < phases.size(); ++phase_index) {
+    SpanGuard phase_span(obs, "phase", -1, static_cast<std::int32_t>(phase_index) + 1);
     for (int step = 1; step <= phases[phase_index].steps; ++step, ++flat) {
       StepRecord record;
       record.phase = static_cast<int>(phase_index) + 1;
       record.step = step;
       record.hops = phases[phase_index].hops;
+      SpanGuard step_span(obs, "step", -1, record.phase, record.step);
       const auto superstep_start = std::chrono::steady_clock::now();
       for (Rank p = 0; p < N; ++p) {
         if (options_.cancel != nullptr && options_.cancel->load()) {
@@ -133,9 +137,11 @@ ExchangeTrace StepSynchronousRuntime::run_verified() {
         if (options_.before_send_hook) options_.before_send_hook(record.phase, record.step, p);
         if (options_.stall_deadline.count() > 0 &&
             std::chrono::steady_clock::now() - superstep_start >= options_.stall_deadline) {
+          if (obs != nullptr) obs->instant("stall_deadline", p, record.phase, record.step);
           throw RuntimeStallError(record.phase, record.step, p, options_.stall_deadline,
                                   "superstep overran its deadline");
         }
+        SpanGuard node_span(obs, "node_step", p, record.phase, record.step);
         Rank partner = -1;
         std::vector<Block> message =
             programs_[static_cast<std::size_t>(p)].collect_outgoing(flat, partner);

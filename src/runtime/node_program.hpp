@@ -31,6 +31,7 @@
 #include "core/aape.hpp"
 #include "core/block.hpp"
 #include "core/trace.hpp"
+#include "obs/recorder.hpp"
 #include "runtime/watchdog.hpp"
 
 namespace torex {
@@ -109,6 +110,10 @@ struct StepSyncOptions {
   /// Fault-injection seam for tests: invoked before each node's
   /// collect_outgoing.
   std::function<void(int phase, int step, Rank node)> before_send_hook;
+
+  /// Optional telemetry sink: per-node step spans (pid = node in the
+  /// exported trace) plus step/blocks counters.
+  Recorder* obs = nullptr;
 };
 
 /// Lockstep executor over N node programs with single-writer mailboxes.

@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <thread>
 #include <utility>
@@ -59,6 +60,9 @@ struct WorkerState {
   const int T;
   const std::vector<StepId> steps;
   const std::function<void(int, int, Rank, const std::atomic<bool>&)> hook;
+  /// Workers' own copy of the caller's recorder handle: shared state,
+  /// independent lifetime — safe for detached workers.
+  std::optional<Recorder> obs;
   /// Caller's cancellation flag (may be null); checked by workers at
   /// superstep boundaries, not just by the watchdog poll, so a fast
   /// exchange still observes a cancellation raised mid-run.
@@ -88,6 +92,16 @@ struct WorkerState {
 void worker_main(const std::shared_ptr<WorkerState>& st, const SuhShinAape* algo, int tid) {
   const Rank lo = static_cast<Rank>(static_cast<std::int64_t>(st->N) * tid / st->T);
   const Rank hi = static_cast<Rank>(static_cast<std::int64_t>(st->N) * (tid + 1) / st->T);
+  Recorder* obs = st->obs.has_value() && st->obs->enabled() ? &*st->obs : nullptr;
+  Histogram* barrier_hist =
+      obs != nullptr
+          ? &obs->metrics().histogram("parallel.barrier_wait_ns", default_latency_bounds_ns())
+          : nullptr;
+  const auto timed_barrier = [&] {
+    const std::int64_t t0 = obs != nullptr ? obs->now_ns() : 0;
+    st->sync.arrive_and_wait();
+    if (obs != nullptr) barrier_hist->observe(obs->now_ns() - t0);
+  };
   bool early_exit = false;
   for (std::size_t s = 0; s < st->steps.size(); ++s) {
     if (st->external != nullptr && st->external->load(std::memory_order_relaxed)) {
@@ -99,6 +113,7 @@ void worker_main(const std::shared_ptr<WorkerState>& st, const SuhShinAape* algo
       break;
     }
     const auto [phase, step] = st->steps[s];
+    SpanGuard superstep_span(obs, "superstep", -1, phase, step);
     // Superstep half 1: partition own nodes' buffers and publish the
     // send sets into partner inboxes. One-port: each inbox has exactly
     // one writer, so no synchronization is needed beyond the barrier
@@ -131,6 +146,7 @@ void worker_main(const std::shared_ptr<WorkerState>& st, const SuhShinAape* algo
                                      seen, local_max, std::memory_order_relaxed)) {
       }
     } catch (...) {
+      if (obs != nullptr) obs->instant("worker_exception", -1, phase, step, tid);
       st->record_error(std::current_exception());
       early_exit = true;
       break;
@@ -139,7 +155,7 @@ void worker_main(const std::shared_ptr<WorkerState>& st, const SuhShinAape* algo
       early_exit = true;
       break;
     }
-    st->sync.arrive_and_wait();
+    timed_barrier();
     st->progress.fetch_add(1, std::memory_order_relaxed);
     if (st->cancel.load(std::memory_order_relaxed)) {
       early_exit = true;
@@ -155,11 +171,12 @@ void worker_main(const std::shared_ptr<WorkerState>& st, const SuhShinAape* algo
         in.clear();
       }
     } catch (...) {
+      if (obs != nullptr) obs->instant("worker_exception", -1, phase, step, tid);
       st->record_error(std::current_exception());
       early_exit = true;
       break;
     }
-    st->sync.arrive_and_wait();
+    timed_barrier();
     st->progress.fetch_add(1, std::memory_order_relaxed);
     st->thread_step[static_cast<std::size_t>(tid)].store(static_cast<std::int64_t>(s) + 1,
                                                          std::memory_order_relaxed);
@@ -201,6 +218,9 @@ ExchangeTrace ParallelExchange::run_verified() {
 
   auto st = std::make_shared<WorkerState>(N, T, steps.size(), steps, options_.before_send_hook);
   st->external = options_.cancel;
+  Recorder* obs = options_.obs != nullptr && options_.obs->enabled() ? options_.obs : nullptr;
+  if (obs != nullptr) st->obs = *obs;
+  SpanGuard run_span(obs, "parallel_run");
   for (Rank p = 0; p < N; ++p) {
     auto& buf = st->buffers[static_cast<std::size_t>(p)];
     buf.reserve(static_cast<std::size_t>(N));
@@ -219,6 +239,7 @@ ExchangeTrace ParallelExchange::run_verified() {
   // some worker is wedged mid-superstep.
   const std::chrono::milliseconds deadline = options_.stall_deadline;
   const bool watchdog = deadline.count() > 0;
+  if (obs != nullptr && watchdog) obs->metrics().counter("watchdog.armed").add();
   const std::chrono::milliseconds poll(
       watchdog ? std::max<std::int64_t>(1, std::min<std::int64_t>(deadline.count() / 4, 100))
                : 100);
@@ -245,6 +266,10 @@ ExchangeTrace ParallelExchange::run_verified() {
       }
       if (watchdog && now - last_change >= deadline) {
         stalled = true;
+        if (obs != nullptr) {
+          obs->instant("watchdog_fired", -1, 0, 0, deadline.count());
+          obs->metrics().counter("watchdog.fired").add();
+        }
         st->cancel.store(true, std::memory_order_relaxed);
         // Grace window: cooperative workers unwind at the next cancel
         // check; a truly wedged one forces a detach below.

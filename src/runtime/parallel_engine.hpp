@@ -59,6 +59,12 @@ struct ParallelOptions {
   /// exception.
   std::function<void(int phase, int step, Rank node, const std::atomic<bool>& cancel)>
       before_send_hook;
+
+  /// Optional telemetry sink: superstep spans, barrier-wait histogram,
+  /// watchdog arm/fire events. The workers keep their own copy of the
+  /// recorder handle, so a detached (stalled) worker records safely even
+  /// after the caller's recorder is gone.
+  Recorder* obs = nullptr;
 };
 
 /// Runs the exchange with a BSP thread pool. Produces the same final

@@ -271,17 +271,24 @@ DegradedPlan plan_direct_fallback(const Torus& torus, const FaultModel& faults,
 
 RecoveryDecision decide_recovery(const Torus& torus, const SuhShinAape* schedule,
                                  const FaultModel& faults, RecoveryPolicy requested,
-                                 const BackoffConfig& backoff, std::int64_t start_tick) {
+                                 const BackoffConfig& backoff, std::int64_t start_tick,
+                                 Recorder* obs) {
   TOREX_REQUIRE(start_tick >= 0, "start tick must be non-negative");
   TOREX_REQUIRE(backoff.max_attempts >= 0, "backoff attempt budget must be non-negative");
+  if (obs != nullptr && !obs->enabled()) obs = nullptr;
+  SpanGuard decide_span(obs, "recovery_decide");
 
   const auto audit = [&](std::int64_t tick) {
     return schedule != nullptr ? audit_schedule_faults(*schedule, faults, tick)
                                : audit_direct_exchange_faults(torus, faults, tick);
   };
+  const auto count = [&](const char* name, std::int64_t delta) {
+    if (obs != nullptr) obs->metrics().counter(name).add(delta);
+  };
 
   RecoveryDecision decision;
   decision.run_tick = start_tick;
+  count("recovery.attempts", 1);
   FaultImpactReport report = audit(start_tick);
   if (report.clean()) return decision;  // policy kNone: nothing to recover from
 
@@ -302,11 +309,17 @@ RecoveryDecision decide_recovery(const Torus& torus, const SuhShinAape* schedule
   if (try_retry) {
     std::int64_t tick = start_tick;
     for (int attempt = 1; attempt <= backoff.max_attempts; ++attempt) {
+      // The span's value annotates how long this attempt backed off.
+      SpanGuard attempt_span(obs, "recovery_attempt", -1, 0, attempt);
       const std::int64_t wait = backoff_wait(backoff, attempt);
+      if (obs != nullptr) obs->instant("backoff_wait", -1, 0, attempt, wait);
       tick += wait;
       decision.waited_ticks += wait;
       decision.retries = attempt;
       ++decision.attempts;
+      count("recovery.attempts", 1);
+      count("recovery.backoff_waits", 1);
+      count("recovery.waited_ticks", wait);
       report = audit(tick);
       if (report.clean()) {
         decision.policy = RecoveryPolicy::kRetryBackoff;
@@ -327,6 +340,7 @@ RecoveryDecision decide_recovery(const Torus& torus, const SuhShinAape* schedule
   if (try_remap) {
     auto plan = plan_degraded_schedule(torus, *schedule, faults, decision.run_tick);
     if (plan) {
+      if (obs != nullptr) obs->instant("recovery_remap", -1, 0, 0, plan->rerouted_messages);
       decision.policy = RecoveryPolicy::kRemap;
       decision.plan = std::move(*plan);
       note << "; remapped realization: " << decision.plan.remapped_nodes
@@ -341,6 +355,9 @@ RecoveryDecision decide_recovery(const Torus& torus, const SuhShinAape* schedule
   // Stage 3: fault-tolerant direct fallback (throws when disconnected).
   decision.plan = plan_direct_fallback(torus, faults, decision.run_tick);
   decision.policy = RecoveryPolicy::kFallbackDirect;
+  if (obs != nullptr) {
+    obs->instant("recovery_fallback_direct", -1, 0, 0, decision.plan.rerouted_messages);
+  }
   note << "; direct fallback: " << decision.plan.remapped_nodes << " nodes hosted elsewhere, "
        << decision.plan.rerouted_messages << " pairs rerouted (+" << decision.plan.extra_hops
        << " hops)";

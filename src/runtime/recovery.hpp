@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "core/aape.hpp"
+#include "obs/recorder.hpp"
 #include "sim/fault_model.hpp"
 #include "topology/torus.hpp"
 
@@ -123,9 +124,11 @@ DegradedPlan plan_direct_fallback(const Torus& torus, const FaultModel& faults,
 /// or a baseline algorithm); the audit then covers direct traffic and
 /// the remap stage is skipped. Throws FaultedExchangeError when
 /// `requested` is kNone and the audit is dirty, or when the network is
-/// disconnected.
+/// disconnected. `obs`, when non-null, records attempt spans (with the
+/// backoff wait annotated) and recovery counters.
 RecoveryDecision decide_recovery(const Torus& torus, const SuhShinAape* schedule,
                                  const FaultModel& faults, RecoveryPolicy requested,
-                                 const BackoffConfig& backoff, std::int64_t start_tick);
+                                 const BackoffConfig& backoff, std::int64_t start_tick,
+                                 Recorder* obs = nullptr);
 
 }  // namespace torex

@@ -1,6 +1,7 @@
 #include "sim/trace_export.hpp"
 
 #include <ostream>
+#include <stdexcept>
 
 namespace torex {
 
@@ -14,6 +15,15 @@ void write_steps_csv(std::ostream& os, const ExchangeTrace& trace) {
 }
 
 void write_transfers_csv(std::ostream& os, const ExchangeTrace& trace) {
+  for (const auto& step : trace.steps) {
+    if (step.total_blocks > 0 && step.transfers.empty()) {
+      throw std::invalid_argument(
+          "write_transfers_csv: trace has no per-transfer detail (phase " +
+          std::to_string(step.phase) + " step " + std::to_string(step.step) +
+          " moved blocks but recorded no transfers) — run the engine with "
+          "EngineOptions::record_transfers");
+    }
+  }
   os << "phase,step,src,dst,dim,sign,hops,blocks\n";
   for (const auto& step : trace.steps) {
     for (const auto& t : step.transfers) {

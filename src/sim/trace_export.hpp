@@ -21,7 +21,10 @@ namespace torex {
 /// One step per row.
 void write_steps_csv(std::ostream& os, const ExchangeTrace& trace);
 
-/// One transfer per row (requires the trace to have recorded transfers).
+/// One transfer per row. Throws std::invalid_argument when the trace
+/// moved blocks but recorded no per-transfer detail (the engine ran
+/// without EngineOptions::record_transfers) — an empty body would
+/// silently poison downstream plots.
 void write_transfers_csv(std::ostream& os, const ExchangeTrace& trace);
 
 /// Generic labeled series, e.g. cumulative completion times.

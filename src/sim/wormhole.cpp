@@ -70,15 +70,17 @@ void build_straight_vc_path(const Torus& torus, Rank src, const StraightRoute& r
 WormholeSimulator::WormholeSimulator(const Torus& torus) : torus_(torus) {}
 
 WormholeOutcome WormholeSimulator::simulate(const std::vector<WormSpec>& specs,
-                                            SwitchingMode mode) const {
-  return simulate_faulted(specs, FaultModel{}, /*base_tick=*/0, mode);
+                                            SwitchingMode mode, Recorder* obs) const {
+  return simulate_faulted(specs, FaultModel{}, /*base_tick=*/0, mode, obs);
 }
 
 WormholeOutcome WormholeSimulator::simulate_faulted(const std::vector<WormSpec>& specs,
                                                     const FaultModel& faults,
                                                     std::int64_t base_tick,
-                                                    SwitchingMode mode) const {
+                                                    SwitchingMode mode, Recorder* obs) const {
   TOREX_REQUIRE(base_tick >= 0, "base tick must be non-negative");
+  if (obs != nullptr && !obs->enabled()) obs = nullptr;
+  SpanGuard sim_span(obs, "wormhole_sim");
   const std::int64_t vc_count = torus_.num_channels() * 2;
   const Rank N = torus_.shape().num_nodes();
   // Resource layout: [0, vc_count) virtual channels, then one
@@ -151,6 +153,11 @@ WormholeOutcome WormholeSimulator::simulate_faulted(const std::vector<WormSpec>&
   std::size_t remaining = worms.size();
   std::int64_t t = 0;
   std::int64_t idle_cycles = 0;
+  // Channel-occupancy counter track: worms that have entered the
+  // network and are not yet delivered. Emitted only on change so an
+  // uncontended batch costs a handful of events.
+  std::int64_t in_flight = 0;
+  std::int64_t last_emitted_in_flight = -1;
   while (remaining > 0) {
     bool progressed = false;
     for (std::size_t i = 0; i < worms.size(); ++i) {
@@ -203,6 +210,7 @@ WormholeOutcome WormholeSimulator::simulate_faulted(const std::vector<WormSpec>&
       if (w.acquired == 0) {
         w.result.start = t;
         source_owner[static_cast<std::size_t>(w.src)] = static_cast<std::int32_t>(i);
+        ++in_flight;
       }
       ++w.acquired;
       progressed = true;
@@ -242,7 +250,12 @@ WormholeOutcome WormholeSimulator::simulate_faulted(const std::vector<WormSpec>&
         source_owner[static_cast<std::size_t>(w.src)] = -1;
         w.done = true;
         --remaining;
+        --in_flight;
       }
+    }
+    if (obs != nullptr && in_flight != last_emitted_in_flight) {
+      obs->counter("worms_in_flight", in_flight);
+      last_emitted_in_flight = in_flight;
     }
     ++t;
     if (!progressed) {

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "core/trace.hpp"
+#include "obs/recorder.hpp"
 #include "sim/cost_simulator.hpp"
 #include "sim/fault_model.hpp"
 #include "topology/torus.hpp"
@@ -104,8 +105,11 @@ class WormholeSimulator {
   /// if the network stops making progress (should be impossible with the
   /// dateline VCs; kept as a safety net). `mode` selects the switching
   /// discipline; the default reproduces the paper's wormhole model.
+  /// `obs`, when non-null, records a "worms_in_flight" counter track
+  /// sampled from the tick loop whenever the in-flight count changes.
   WormholeOutcome simulate(const std::vector<WormSpec>& specs,
-                           SwitchingMode mode = SwitchingMode::kWormhole) const;
+                           SwitchingMode mode = SwitchingMode::kWormhole,
+                           Recorder* obs = nullptr) const;
 
   /// Same, on a faulted network. A channel with an active fault admits
   /// no new flits, so a worm whose header reaches it stalls in place
@@ -118,7 +122,8 @@ class WormholeSimulator {
   /// (see route_around_faults / the communicator's recovery policies).
   WormholeOutcome simulate_faulted(const std::vector<WormSpec>& specs,
                                    const FaultModel& faults, std::int64_t base_tick = 0,
-                                   SwitchingMode mode = SwitchingMode::kWormhole) const;
+                                   SwitchingMode mode = SwitchingMode::kWormhole,
+                                   Recorder* obs = nullptr) const;
 
   /// Convenience: the stall-free delivery time of one message of
   /// `flits` flits over `hops` hops (header pipeline + drain).

@@ -20,6 +20,9 @@
 #include "costmodel/lower_bounds.hpp"
 #include "costmodel/models.hpp"
 #include "costmodel/params.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 #include "runtime/communicator.hpp"
 #include "runtime/node_program.hpp"
 #include "runtime/parallel_engine.hpp"

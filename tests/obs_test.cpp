@@ -1,0 +1,228 @@
+// Tests for the telemetry layer: recorder, metrics, Chrome-trace export.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/exchange_engine.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+#include "runtime/parallel_engine.hpp"
+
+namespace torex {
+namespace {
+
+const SpanInstance* find_span(const std::vector<SpanInstance>& spans,
+                              const std::string& name) {
+  for (const auto& span : spans) {
+    if (span.name == name) return &span;
+  }
+  return nullptr;
+}
+
+TEST(RecorderTest, SpansNestAndPair) {
+  Recorder recorder;
+  recorder.begin("outer");
+  recorder.begin("inner", 3, 1, 2);
+  recorder.end("inner", 3, 1, 2);
+  recorder.end("outer");
+  const auto spans = pair_spans(recorder.snapshot());
+  ASSERT_EQ(spans.size(), 2u);
+  const SpanInstance* outer = find_span(spans, "outer");
+  const SpanInstance* inner = find_span(spans, "inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_LE(outer->begin_ns, inner->begin_ns);
+  EXPECT_GE(outer->end_ns, inner->end_ns);
+  EXPECT_EQ(inner->node, 3);
+  EXPECT_EQ(inner->phase, 1);
+  EXPECT_EQ(inner->step, 2);
+}
+
+TEST(RecorderTest, RecursiveSameNameSpansMatchLifo) {
+  Recorder recorder;
+  recorder.begin("loop");
+  recorder.begin("loop");
+  recorder.end("loop");
+  recorder.end("loop");
+  const auto spans = pair_spans(recorder.snapshot());
+  ASSERT_EQ(spans.size(), 2u);
+  // The inner pair must sit inside the outer pair, not cross it.
+  const auto& a = spans[0];
+  const auto& b = spans[1];
+  const auto& outer = a.duration_ns() >= b.duration_ns() ? a : b;
+  const auto& inner = a.duration_ns() >= b.duration_ns() ? b : a;
+  EXPECT_LE(outer.begin_ns, inner.begin_ns);
+  EXPECT_GE(outer.end_ns, inner.end_ns);
+}
+
+TEST(RecorderTest, UnmatchedBeginClosesAtWallTime) {
+  Recorder recorder;
+  recorder.begin("crashed");
+  recorder.instant("later");
+  const Telemetry telemetry = recorder.snapshot();
+  const auto spans = pair_spans(telemetry);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].end_ns, telemetry.wall_ns);
+}
+
+TEST(RecorderTest, DropAccountingOnFullBuffer) {
+  ObsOptions options;
+  options.events_per_thread = 4;
+  Recorder recorder(options);
+  for (int i = 0; i < 10; ++i) recorder.instant("tick");
+  const Telemetry telemetry = recorder.snapshot();
+  EXPECT_EQ(telemetry.events.size(), 4u);
+  EXPECT_EQ(telemetry.dropped_events, 6);
+  EXPECT_EQ(recorder.dropped_events(), 6);
+}
+
+TEST(RecorderTest, DisabledRecorderIsANoOp) {
+  ObsOptions options;
+  options.enabled = false;
+  Recorder recorder(options);
+  EXPECT_FALSE(recorder.enabled());
+  recorder.begin("span");
+  recorder.instant("instant");
+  recorder.counter("track", 7);
+  recorder.end("span");
+  { SpanGuard guard(&recorder, "guarded"); }
+  { SpanGuard guard(nullptr, "null"); }
+  const Telemetry telemetry = recorder.snapshot();
+  EXPECT_TRUE(telemetry.events.empty());
+  EXPECT_EQ(telemetry.dropped_events, 0);
+}
+
+TEST(RecorderTest, CopiesShareOneSnapshot) {
+  Recorder recorder;
+  Recorder copy = recorder;
+  recorder.instant("from_original");
+  copy.instant("from_copy");
+  const Telemetry telemetry = recorder.snapshot();
+  ASSERT_EQ(telemetry.events.size(), 2u);
+}
+
+TEST(RecorderTest, ThreadsRecordIntoSeparateStreams) {
+  Recorder recorder;
+  recorder.instant("main");
+  std::thread worker([&] { recorder.instant("worker"); });
+  worker.join();
+  const Telemetry telemetry = recorder.snapshot();
+  EXPECT_EQ(telemetry.events.size(), 2u);
+  EXPECT_EQ(telemetry.streams, 2);
+  EXPECT_NE(telemetry.events[0].tid, telemetry.events[1].tid);
+}
+
+TEST(MetricsTest, HistogramBucketEdgesAreInclusive) {
+  Histogram histogram({10, 20});
+  for (std::int64_t v : {5, 10, 11, 20, 21, 1000}) histogram.observe(v);
+  const auto counts = histogram.bucket_counts();
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 2);  // 5, 10 — the edge lands in its bucket
+  EXPECT_EQ(counts[1], 2);  // 11, 20
+  EXPECT_EQ(counts[2], 2);  // 21, 1000 overflow
+  EXPECT_EQ(histogram.count(), 6);
+  EXPECT_EQ(histogram.min(), 5);
+  EXPECT_EQ(histogram.max(), 1000);
+}
+
+TEST(MetricsTest, RegistryFindOrCreateAndKindCollision) {
+  MetricsRegistry registry;
+  registry.counter("a.count").add(3);
+  registry.counter("a.count").add(2);
+  EXPECT_EQ(registry.counter("a.count").value(), 5);
+  registry.gauge("a.level").set(9);
+  EXPECT_THROW(registry.gauge("a.count"), std::logic_error);
+  EXPECT_THROW(registry.histogram("a.level", {1, 2}), std::logic_error);
+  const MetricsSnapshot snapshot = registry.snapshot();
+  EXPECT_EQ(snapshot.counter_value("a.count"), 5);
+  EXPECT_EQ(snapshot.counter_value("never.registered"), 0);
+}
+
+TEST(ChromeTraceTest, ExportIsWellFormedJson) {
+  Recorder recorder;
+  {
+    SpanGuard run(&recorder, "run");
+    SpanGuard step(&recorder, "step", 4, 1, 2);
+    recorder.instant("weird \"name\" \\ with\tescapes", 4, 1, 2, -17);
+    recorder.counter("track", 42, 4);
+  }
+  std::string error;
+  const std::string json = chrome_trace_json(recorder.snapshot());
+  EXPECT_TRUE(json_well_formed(json, &error)) << error;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+}
+
+TEST(ChromeTraceTest, ValidatorRejectsMalformedJson) {
+  EXPECT_TRUE(json_well_formed("{\"a\": [1, 2.5e3, true, null, \"x\\n\"]}"));
+  EXPECT_FALSE(json_well_formed(""));
+  EXPECT_FALSE(json_well_formed("{\"a\": 1"));
+  EXPECT_FALSE(json_well_formed("{\"a\": 1} trailing"));
+  EXPECT_FALSE(json_well_formed("{\"a\": 01}"));
+  EXPECT_FALSE(json_well_formed("{\"a\": \"\\q\"}"));
+  EXPECT_FALSE(json_well_formed("{'a': 1}"));
+  std::string error;
+  EXPECT_FALSE(json_well_formed("[1, ]", &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ChromeTraceTest, InstrumentedEngineRunSummarizes) {
+  const SuhShinAape algo(TorusShape::make_2d(4, 4));
+  Recorder recorder;
+  EngineOptions options;
+  options.obs = &recorder;
+  const ExchangeTrace trace = ExchangeEngine(algo, options).run_verified();
+  const Telemetry telemetry = recorder.snapshot();
+  EXPECT_GT(telemetry.events.size(), 0u);
+  EXPECT_EQ(telemetry.metrics.counter_value("exchange.steps"),
+            static_cast<std::int64_t>(trace.steps.size()));
+
+  const PhaseSummary summary = summarize_vs_model(telemetry, trace, CostParams{});
+  // One row per schedule phase that has steps, then the rearrangement
+  // and total rows.
+  std::set<int> phases;
+  for (const auto& step : trace.steps) phases.insert(step.phase);
+  ASSERT_EQ(summary.rows.size(), phases.size() + 2u);
+  EXPECT_EQ(summary.rows.back().label, "total");
+  EXPECT_GT(summary.rows.back().measured_ns, 0);
+  EXPECT_GT(summary.rows.back().model_cost, 0.0);
+  std::int64_t steps = 0;
+  for (std::size_t i = 0; i + 2 < summary.rows.size(); ++i) steps += summary.rows[i].steps;
+  EXPECT_EQ(steps, static_cast<std::int64_t>(trace.steps.size()));
+}
+
+TEST(ChromeTraceTest, DisabledRecorderThroughEngineRecordsNothing) {
+  const SuhShinAape algo(TorusShape::make_2d(4, 4));
+  ObsOptions obs_options;
+  obs_options.enabled = false;
+  Recorder recorder(obs_options);
+  EngineOptions options;
+  options.obs = &recorder;
+  ExchangeEngine(algo, options).run_verified();
+  EXPECT_TRUE(recorder.snapshot().events.empty());
+}
+
+TEST(ChromeTraceTest, ParallelRunProducesSuperstepSpans) {
+  const SuhShinAape algo(TorusShape::make_2d(4, 4));
+  Recorder recorder;
+  ParallelOptions options;
+  options.num_threads = 2;
+  options.obs = &recorder;
+  ParallelExchange(algo, options).run_verified();
+  const Telemetry telemetry = recorder.snapshot();
+  EXPECT_GE(telemetry.streams, 2);
+  const auto spans = pair_spans(telemetry);
+  EXPECT_NE(find_span(spans, "superstep"), nullptr);
+  EXPECT_NE(find_span(spans, "parallel_run"), nullptr);
+  EXPECT_GT(telemetry.metrics.counter_value("watchdog.armed"), 0);
+  std::string error;
+  EXPECT_TRUE(json_well_formed(chrome_trace_json(telemetry), &error)) << error;
+}
+
+}  // namespace
+}  // namespace torex

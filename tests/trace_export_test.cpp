@@ -48,6 +48,43 @@ TEST(TraceExportTest, SeriesCsvRoundNumbers) {
   EXPECT_EQ(count_lines(text), 4u);
 }
 
+TEST(TraceExportTest, TransfersCsvThrowsWithoutRecordedTransfers) {
+  const SuhShinAape algo(TorusShape::make_2d(4, 4));
+  EngineOptions options;
+  options.record_transfers = false;
+  ExchangeEngine engine(algo, options);
+  const ExchangeTrace trace = engine.run_verified();
+  std::ostringstream os;
+  // Silently writing a header with an empty body poisoned plotting
+  // pipelines; the exporter must refuse loudly instead.
+  EXPECT_THROW(write_transfers_csv(os, trace), std::invalid_argument);
+}
+
+TEST(TraceExportTest, WormholeCsvGoldenSingleMessage) {
+  const Torus torus(TorusShape::make_2d(8, 8));
+  WormholeSimulator sim(torus);
+  WormSpec spec;
+  spec.src = 0;
+  spec.dst = 3;
+  spec.flits = 8;
+  const WormholeOutcome out = sim.simulate({spec});
+  std::ostringstream os;
+  write_wormhole_csv(os, out);
+  // One uncontended 8-flit worm over 3 hops: header arrives at cycle 3,
+  // the remaining 7 flits drain one per cycle.
+  EXPECT_EQ(os.str(),
+            "message,start,header_arrival,delivered,stall_cycles,hops\n"
+            "0,0,3,10,0,3\n");
+}
+
+TEST(TraceExportTest, CostCsvGoldenHeader) {
+  std::ostringstream os;
+  write_cost_csv(os, "golden", CostBreakdown{1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(os.str(),
+            "label,startup,transmission,rearrangement,propagation,total\n"
+            "golden,1,2,3,4,10\n");
+}
+
 TEST(TraceExportTest, WormholeCsvPerMessage) {
   const Torus torus(TorusShape::make_2d(8, 8));
   WormholeSimulator sim(torus);

@@ -1,0 +1,199 @@
+// torex_trace — run one instrumented exchange and export its telemetry.
+//
+//   ./torex_trace [--torus=8x8] [--out=torex_trace.json]
+//                 [--mode=engine|parallel|payload|checked]
+//                 [--faults=0] [--corrupt=0] [--seed=0] [--threads=0]
+//                 [--buffer=65536] [--block-bytes=64]
+//
+// Runs the Suh-Shin exchange on the given torus (extents multiples of
+// four, sorted non-increasing, e.g. 8x8 or 8x4x4) with a telemetry
+// recorder attached, writes the snapshot as Chrome trace-event JSON
+// (load it in chrome://tracing or https://ui.perfetto.dev), and prints
+// the per-phase summary: measured wall time next to the paper's
+// four-parameter model prediction, plus every nonzero metric counter.
+//
+// Modes:
+//   engine    sequential ExchangeEngine (default on a healthy network);
+//   parallel  threaded BSP runtime — superstep spans carry per-thread
+//             streams and the barrier-wait histogram;
+//   payload   communicator alltoall over real payloads;
+//   checked   integrity-checked alltoall under injected faults
+//             (--faults=K channel faults, --corrupt=K corrupting
+//             channels) — retry, escalation, and recovery spans appear
+//             in the trace and the retransmit counters go nonzero.
+// --faults/--corrupt switch the default mode to `checked`. The emitted
+// JSON is validated with the built-in RFC 8259 checker before writing;
+// buffer overflow (undersized --buffer) is reported as dropped events.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/exchange_engine.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/recorder.hpp"
+#include "runtime/communicator.hpp"
+#include "runtime/parallel_engine.hpp"
+#include "sim/fault_model.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace torex;
+
+/// Parses an "8x4x4"-style extent list (also accepts commas).
+TorusShape parse_torus(const std::string& text) {
+  std::vector<std::int32_t> extents;
+  std::string token;
+  std::istringstream in(text);
+  while (std::getline(in, token, 'x')) {
+    std::istringstream part(token);
+    std::string sub;
+    while (std::getline(part, sub, ',')) {
+      if (sub.empty()) continue;
+      extents.push_back(static_cast<std::int32_t>(std::stol(sub)));
+    }
+  }
+  if (extents.size() < 2) {
+    throw std::invalid_argument("--torus needs at least two extents, e.g. --torus=8x8");
+  }
+  return TorusShape(extents);
+}
+
+std::vector<std::vector<std::int64_t>> make_send(Rank n) {
+  std::vector<std::vector<std::int64_t>> send(static_cast<std::size_t>(n));
+  for (Rank p = 0; p < n; ++p) {
+    auto& row = send[static_cast<std::size_t>(p)];
+    row.reserve(static_cast<std::size_t>(n));
+    for (Rank q = 0; q < n; ++q) row.push_back(static_cast<std::int64_t>(p) * n + q);
+  }
+  return send;
+}
+
+/// Schedule trace without telemetry or per-transfer detail — the model
+/// side of the summary join for runs that do not produce a trace
+/// themselves (payload/checked modes).
+ExchangeTrace schedule_trace(const SuhShinAape& algo) {
+  EngineOptions options;
+  options.check_phase_invariants = false;
+  options.record_transfers = false;
+  return ExchangeEngine(algo, options).run();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const CliFlags flags = CliFlags::parse(
+        argc, argv,
+        {"torus", "out", "mode", "faults", "corrupt", "seed", "threads", "buffer",
+         "block-bytes"});
+    const TorusShape shape = parse_torus(flags.get_string("torus", "8x8"));
+    const std::string out_path = flags.get_string("out", "torex_trace.json");
+    const int faults_k = static_cast<int>(flags.get_int("faults", 0));
+    const int corrupt_k = static_cast<int>(flags.get_int("corrupt", 0));
+    const std::uint64_t seed = static_cast<std::uint64_t>(flags.get_int("seed", 0));
+    const std::string mode = flags.get_string(
+        "mode", faults_k > 0 || corrupt_k > 0 ? "checked" : "engine");
+
+    ObsOptions obs_options;
+    obs_options.events_per_thread =
+        static_cast<std::size_t>(flags.get_int("buffer", 1 << 16));
+    Recorder recorder(obs_options);
+
+    CostParams params;
+    params.m = flags.get_int("block-bytes", params.m);
+    const SuhShinAape algo(shape);
+
+    std::cout << "torex_trace: " << shape.to_string() << " (" << shape.num_nodes()
+              << " nodes), mode=" << mode;
+    if (faults_k > 0) std::cout << ", faults=" << faults_k;
+    if (corrupt_k > 0) std::cout << ", corrupt=" << corrupt_k;
+    if (faults_k > 0 || corrupt_k > 0) std::cout << ", seed=" << seed;
+    std::cout << "\n";
+
+    ExchangeTrace trace;
+    if (mode == "engine") {
+      EngineOptions options;
+      options.record_transfers = false;
+      options.obs = &recorder;
+      trace = ExchangeEngine(algo, options).run_verified();
+    } else if (mode == "parallel") {
+      ParallelOptions options;
+      options.num_threads = static_cast<int>(flags.get_int("threads", 0));
+      options.obs = &recorder;
+      trace = ParallelExchange(algo, options).run_verified();
+    } else if (mode == "payload") {
+      const TorusCommunicator comm(shape, params);
+      comm.alltoall(make_send(shape.num_nodes()), AlltoallAlgorithm::kSuhShin, params.m,
+                    nullptr, &recorder);
+      trace = schedule_trace(algo);
+    } else if (mode == "checked") {
+      const TorusCommunicator comm(shape, params);
+      const Torus torus(shape);
+      FaultModel fault_model;
+      if (faults_k > 0) {
+        fault_model.inject_random_channel_faults(torus, seed * 0x9E3779B9u + 0x7072u,
+                                                 faults_k);
+      }
+      CorruptionModel corruption;
+      if (corrupt_k > 0) {
+        // Permanent corruption exhausts the retransmit budget and
+        // escalates into recovery, so the trace exercises the retry,
+        // escalation, and recovery span vocabulary.
+        corruption.inject_random_corruptions(torus, seed * 0x9E3779B9u + 0xC0DEu,
+                                             corrupt_k);
+      }
+      ResilienceOptions options;
+      options.algorithm = AlltoallAlgorithm::kSuhShin;
+      options.block_bytes = params.m;
+      options.obs = &recorder;
+      ExchangeOutcome outcome;
+      comm.alltoall_checked(make_send(shape.num_nodes()), fault_model, corruption, outcome,
+                            options);
+      std::cout << "outcome: " << outcome.summary() << "\n";
+      trace = schedule_trace(algo);
+    } else {
+      throw std::invalid_argument("unknown --mode=" + mode +
+                                  " (engine|parallel|payload|checked)");
+    }
+
+    const Telemetry telemetry = recorder.snapshot();
+    const std::string json = chrome_trace_json(telemetry);
+    std::string error;
+    if (!json_well_formed(json, &error)) {
+      std::cerr << "internal error: emitted trace is not well-formed JSON: " << error
+                << '\n';
+      return 1;
+    }
+    {
+      std::ofstream out(out_path, std::ios::binary);
+      if (!out) throw std::runtime_error("cannot open " + out_path + " for writing");
+      out << json;
+    }
+    std::cout << "wrote " << out_path << " (" << telemetry.events.size() << " events, "
+              << telemetry.streams << " stream(s), " << telemetry.dropped_events
+              << " dropped)\n\n";
+
+    print_phase_summary(std::cout, summarize_vs_model(telemetry, trace, params));
+
+    bool any_counter = false;
+    for (const auto& counter : telemetry.metrics.counters) {
+      if (counter.value == 0) continue;
+      if (!any_counter) std::cout << "\ncounters:\n";
+      any_counter = true;
+      std::cout << "  " << counter.name << " = " << counter.value << '\n';
+    }
+    for (const auto& histogram : telemetry.metrics.histograms) {
+      if (histogram.count == 0) continue;
+      std::cout << "  " << histogram.name << ": count=" << histogram.count
+                << " mean=" << histogram.mean() << "ns min=" << histogram.min
+                << " max=" << histogram.max << '\n';
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

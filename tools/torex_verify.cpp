@@ -2,7 +2,7 @@
 //
 //   ./torex_verify [--max-nodes=800] [--max-dims=4] [--flit-level]
 //                  [--layout] [--static-nodes=0] [--faults=0]
-//                  [--chaos=0] [--seed=0]
+//                  [--chaos=0] [--seed=0] [--trace=FILE]
 //
 // Enumerates every valid torus shape (extents multiples of four, sorted
 // non-increasing) up to the node budget and dimension cap, and runs the
@@ -28,11 +28,22 @@
 // in the report so failures are reproducible. Exits non-zero on the
 // first failure. This is the tool to run after touching the pattern or
 // schedule code on a machine with more budget than CI.
+//
+// --trace=FILE attaches a telemetry recorder to every run in the sweep
+// (engine executions, fault recoveries, chaos rounds) and dumps the
+// merged Chrome trace-event JSON to FILE at the end. A large sweep can
+// overflow the bounded event buffers; the report then echoes how many
+// events were dropped so a truncated trace is never mistaken for a
+// complete one.
+#include <fstream>
 #include <iostream>
+#include <optional>
 #include <vector>
 
 #include "core/data_array.hpp"
 #include "core/exchange_engine.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/recorder.hpp"
 #include "runtime/communicator.hpp"
 #include "sim/contention.hpp"
 #include "sim/fault_model.hpp"
@@ -71,7 +82,8 @@ std::uint64_t shape_seed(const TorusShape& shape, std::uint64_t base) {
 /// Re-runs the exchange with `faults_k` seeded permanent channel faults
 /// under every recovery policy and re-checks the AAPE permutation.
 /// Returns false (after printing a FAIL line) on any divergence.
-bool verify_faulted_exchange(const TorusShape& shape, int faults_k, std::uint64_t base_seed) {
+bool verify_faulted_exchange(const TorusShape& shape, int faults_k, std::uint64_t base_seed,
+                             Recorder* obs) {
   const TorusCommunicator comm(shape, CostParams{});
   FaultModel faults;
   faults.inject_random_channel_faults(Torus(shape), shape_seed(shape, base_seed), faults_k);
@@ -88,6 +100,7 @@ bool verify_faulted_exchange(const TorusShape& shape, int faults_k, std::uint64_
     ResilienceOptions options;
     options.algorithm = AlltoallAlgorithm::kSuhShin;
     options.policy = policy;
+    options.obs = obs;
     ExchangeOutcome outcome;
     const auto recv = comm.alltoall_resilient(send, faults, outcome, options);
     for (Rank q = 0; q < N; ++q) {
@@ -113,7 +126,7 @@ bool verify_faulted_exchange(const TorusShape& shape, int faults_k, std::uint64_
 /// attributed failure (the integrity layer refusing to deliver); what
 /// it must never do is return silently wrong data or hang. Prints a
 /// per-shape tally and returns false on the first silent corruption.
-bool chaos_sweep(const TorusShape& shape, int runs, std::uint64_t base_seed) {
+bool chaos_sweep(const TorusShape& shape, int runs, std::uint64_t base_seed, Recorder* obs) {
   const TorusCommunicator comm(shape, CostParams{});
   const Torus torus(shape);
   const Rank N = comm.size();
@@ -145,6 +158,7 @@ bool chaos_sweep(const TorusShape& shape, int runs, std::uint64_t base_seed) {
 
     ResilienceOptions options;
     options.algorithm = AlltoallAlgorithm::kSuhShin;
+    options.obs = obs;
     ExchangeOutcome outcome;
     std::vector<std::vector<std::int64_t>> recv;
     try {
@@ -186,7 +200,7 @@ int main(int argc, char** argv) {
     const CliFlags flags = CliFlags::parse(
         argc, argv,
         {"max-nodes", "max-dims", "flit-level", "layout", "static-nodes", "faults", "chaos",
-         "seed"});
+         "seed", "trace"});
     const std::int64_t max_nodes = flags.get_int("max-nodes", 800);
     const int max_dims = static_cast<int>(flags.get_int("max-dims", 4));
     const bool flit_level = flags.get_bool("flit-level", false);
@@ -194,6 +208,10 @@ int main(int argc, char** argv) {
     const int faults_k = static_cast<int>(flags.get_int("faults", 0));
     const int chaos_runs = static_cast<int>(flags.get_int("chaos", 0));
     const std::uint64_t base_seed = static_cast<std::uint64_t>(flags.get_int("seed", 0));
+    const std::string trace_path = flags.get_string("trace", "");
+    std::optional<Recorder> recorder;
+    if (!trace_path.empty()) recorder.emplace();
+    Recorder* obs = recorder.has_value() ? &*recorder : nullptr;
 
     std::vector<std::vector<std::int32_t>> shapes;
     {
@@ -219,7 +237,9 @@ int main(int argc, char** argv) {
     for (const auto& extents : shapes) {
       const TorusShape shape(extents);
       const SuhShinAape algo(shape);
-      ExchangeEngine engine(algo);
+      EngineOptions engine_options;
+      engine_options.obs = obs;
+      ExchangeEngine engine(algo, engine_options);
       const ExchangeTrace trace = engine.run_verified();
 
       const ContentionReport contention = check_trace_contention(algo.torus(), trace);
@@ -258,7 +278,7 @@ int main(int argc, char** argv) {
           }
         }
       }
-      if (faults_k > 0 && !verify_faulted_exchange(shape, faults_k, base_seed)) return 1;
+      if (faults_k > 0 && !verify_faulted_exchange(shape, faults_k, base_seed, obs)) return 1;
       ++checked;
       if (checked % 25 == 0) std::cout << "  " << checked << " shapes ok...\n";
     }
@@ -270,7 +290,7 @@ int main(int argc, char** argv) {
     if (chaos_runs > 0) {
       std::cout << "chaos sweep: " << chaos_runs << " runs/shape, seed=" << base_seed << "\n";
       for (const auto& extents : std::vector<std::vector<std::int32_t>>{{4, 4}, {8, 4, 4}}) {
-        if (!chaos_sweep(TorusShape(extents), chaos_runs, base_seed)) return 1;
+        if (!chaos_sweep(TorusShape(extents), chaos_runs, base_seed, obs)) return 1;
       }
     }
 
@@ -301,6 +321,29 @@ int main(int argc, char** argv) {
         ++proved;
       }
       std::cout << "static contention proof on " << proved << " additional large shapes\n";
+    }
+
+    if (recorder.has_value()) {
+      const Telemetry telemetry = recorder->snapshot();
+      const std::string json = chrome_trace_json(telemetry);
+      std::string json_error;
+      if (!json_well_formed(json, &json_error)) {
+        std::cerr << "FAIL: emitted trace is not well-formed JSON: " << json_error << '\n';
+        return 1;
+      }
+      std::ofstream out(trace_path, std::ios::binary);
+      if (!out) {
+        std::cerr << "FAIL: cannot open " << trace_path << " for writing\n";
+        return 1;
+      }
+      out << json;
+      std::cout << "trace: wrote " << trace_path << " (" << telemetry.events.size()
+                << " events, " << telemetry.streams << " stream(s))\n";
+      if (telemetry.dropped_events > 0) {
+        std::cout << "trace: WARNING — " << telemetry.dropped_events
+                  << " events dropped (bounded buffers overflowed; the trace covers only "
+                  << "the sweep's prefix)\n";
+      }
     }
     return 0;
   } catch (const std::exception& e) {
