@@ -37,6 +37,78 @@ struct Parcel {
 template <typename T>
 using ParcelBuffers = std::vector<std::vector<Parcel<T>>>;
 
+/// Per-destination delivery state of one all-to-all: bit (dest, origin)
+/// is set once `dest` durably holds the parcel `origin` addressed to
+/// it. This is the unit of progress the exchange journal
+/// (runtime/journal.hpp) persists and the delta-resume path consults to
+/// re-send only what is missing and drop what is re-received.
+class DeliveryBitmap {
+ public:
+  DeliveryBitmap() = default;
+  explicit DeliveryBitmap(Rank num_nodes)
+      : num_nodes_(num_nodes),
+        words_(static_cast<std::size_t>(num_nodes) * words_per_row(num_nodes), 0) {
+    TOREX_REQUIRE(num_nodes >= 1, "delivery bitmap needs at least one node");
+  }
+
+  Rank num_nodes() const { return num_nodes_; }
+
+  bool test(Rank dest, Rank origin) const {
+    check_pair(dest, origin);
+    return (words_[word_index(dest, origin)] >> bit_index(origin)) & 1u;
+  }
+
+  /// Sets bit (dest, origin); returns true when it was newly set.
+  bool mark(Rank dest, Rank origin) {
+    check_pair(dest, origin);
+    std::uint64_t& word = words_[word_index(dest, origin)];
+    const std::uint64_t bit = std::uint64_t{1} << bit_index(origin);
+    if ((word & bit) != 0) return false;
+    word |= bit;
+    ++delivered_;
+    return true;
+  }
+
+  /// Parcels marked delivered so far (out of expected()).
+  std::int64_t delivered() const { return delivered_; }
+
+  /// Total parcels of the exchange: one per ordered (origin, dest)
+  /// pair, self pairs included.
+  std::int64_t expected() const {
+    return static_cast<std::int64_t>(num_nodes_) * num_nodes_;
+  }
+
+  bool complete() const { return delivered_ == expected(); }
+
+  /// Delivered count for one destination's row.
+  std::int64_t delivered_to(Rank dest) const {
+    TOREX_REQUIRE(dest >= 0 && dest < num_nodes_, "destination out of range");
+    std::int64_t count = 0;
+    for (Rank origin = 0; origin < num_nodes_; ++origin) {
+      if (test(dest, origin)) ++count;
+    }
+    return count;
+  }
+
+ private:
+  static std::size_t words_per_row(Rank num_nodes) {
+    return (static_cast<std::size_t>(num_nodes) + 63) / 64;
+  }
+  std::size_t word_index(Rank dest, Rank origin) const {
+    return static_cast<std::size_t>(dest) * words_per_row(num_nodes_) +
+           static_cast<std::size_t>(origin) / 64;
+  }
+  static unsigned bit_index(Rank origin) { return static_cast<unsigned>(origin) % 64; }
+  void check_pair(Rank dest, Rank origin) const {
+    TOREX_REQUIRE(dest >= 0 && dest < num_nodes_ && origin >= 0 && origin < num_nodes_,
+                  "delivery bitmap pair out of range");
+  }
+
+  Rank num_nodes_ = 0;
+  std::int64_t delivered_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
 namespace detail {
 
 /// Validates the canonical all-to-all seed: one buffer per node, one

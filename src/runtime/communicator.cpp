@@ -43,7 +43,26 @@ std::string ExchangeOutcome::summary() const {
          << integrity_failure->description << "]";
     }
   }
+  if (suspected_nodes > 0) {
+    os << " suspected=" << suspected_nodes << " suspicion_tick=" << suspicion_tick
+       << (proactive_recovery ? " (proactive)" : " (late)");
+  }
+  if (resume.has_value()) {
+    os << " [" << resume->summary() << "]";
+  }
   return os.str();
+}
+
+void ResumeOptions::validate() const {
+  resilience.backoff.validate();
+  detector.validate();
+  TOREX_REQUIRE(stall_deadline_ticks >= 1,
+                "resume options: stall deadline must be at least one tick");
+  TOREX_REQUIRE(resilience.start_tick >= 0,
+                "resume options: start tick must be non-negative");
+  if (crash.armed()) {
+    TOREX_REQUIRE(crash.step >= 1, "resume options: crash step is 1-based");
+  }
 }
 
 bool add_corruption_as_faults(const Torus& torus, const CorruptionModel& corruption,

@@ -27,6 +27,8 @@
 #include "core/payload_exchange.hpp"
 #include "core/virtual_torus.hpp"
 #include "costmodel/models.hpp"
+#include "runtime/failure_detector.hpp"
+#include "runtime/journal.hpp"
 #include "runtime/recovery.hpp"
 #include "sim/cost_simulator.hpp"
 #include "sim/fault_model.hpp"
@@ -96,6 +98,17 @@ struct ExchangeOutcome {
   /// the (last) escalation.
   std::optional<IntegrityFailure> integrity_failure;
 
+  // Filled by alltoall_resumable (the journaled entry point).
+  /// Delta-resume accounting of the journaled run that moved the data.
+  std::optional<ResumeReport> resume;
+  /// Nodes the heartbeat failure detector suspected before planning.
+  int suspected_nodes = 0;
+  /// Latest suspicion transition tick (-1 when nothing was suspected).
+  std::int64_t suspicion_tick = -1;
+  /// Suspicion landed strictly before the tick-axis watchdog deadline,
+  /// i.e. recovery started proactively instead of stall-then-cancel.
+  bool proactive_recovery = false;
+
   std::string summary() const;
 };
 
@@ -118,6 +131,29 @@ struct ResilienceOptions {
   /// Optional telemetry sink: plan/execute/verify/escalate spans plus
   /// integrity and recovery counters.
   Recorder* obs = nullptr;
+};
+
+/// Options for the crash-durable (journaled) alltoall entry point.
+struct ResumeOptions {
+  ResilienceOptions resilience;
+  /// Heartbeat failure detector tuning; the detector runs whenever the
+  /// fault model contains node faults (crashes).
+  FailureDetectorOptions detector;
+  /// Tick-axis analogue of the runtimes' wall-clock stall deadline: the
+  /// horizon the failure detector observes heartbeats over, and the
+  /// bar its suspicion must beat for outcome.proactive_recovery.
+  std::int64_t stall_deadline_ticks = 64;
+  /// Simulated process death for tests/tools (see runtime/journal.hpp);
+  /// only honored on the scheduled (non-degraded) path.
+  CrashPoint crash;
+  /// Cooperative cancel, polled between journal flush and step commit.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Durability hook: persist journal.encode() here on every flush.
+  std::function<void(const ExchangeJournal&)> flush;
+
+  /// Rejects invalid backoff/detector/deadline settings with
+  /// std::invalid_argument before any data moves.
+  void validate() const;
 };
 
 /// Collective context bound to one torus and one parameter set.
@@ -361,6 +397,132 @@ class TorusCommunicator {
                                    report.fatal->reason};
       }
     }
+  }
+
+  /// Crash-durable all-to-all: a journaled run whose progress survives
+  /// process death. Every schedule step appends a CRC-sealed delivery
+  /// record + commit marker to `journal` (persist it via options.flush);
+  /// passing a journal with prior progress resumes the exchange,
+  /// replaying the committed prefix locally and re-sending only parcels
+  /// undelivered at the kill point, with re-received durable parcels
+  /// deduplicated (exactly-once). When the fault model carries node
+  /// faults, the heartbeat failure detector runs first — its fd.suspect
+  /// spans precede the recovery.attempt spans of planning — and the
+  /// outcome reports whether suspicion beat the tick watchdog deadline.
+  /// Degraded plans (crashed nodes) deliver the delta directly, still
+  /// journaled. Requires a qualifying (Suh-Shin) shape and copyable T.
+  template <typename T>
+  std::vector<std::vector<T>> alltoall_resumable(const std::vector<std::vector<T>>& send,
+                                                 const FaultModel& faults,
+                                                 ExchangeJournal& journal,
+                                                 ExchangeOutcome& outcome,
+                                                 const ResumeOptions& options = {}) const {
+    options.validate();
+    const Rank N = size();
+    TOREX_REQUIRE(static_cast<Rank>(send.size()) == N, "send buffer must have N rows");
+    for (const auto& row : send) {
+      TOREX_REQUIRE(static_cast<Rank>(row.size()) == N, "send rows must have N entries");
+    }
+    TOREX_REQUIRE(schedule_.has_value(),
+                  "resumable exchange requires the Suh-Shin schedule (qualifying shape)");
+    const std::int64_t bytes = options.resilience.block_bytes > 0
+                                   ? options.resilience.block_bytes
+                                   : static_cast<std::int64_t>(sizeof(T));
+    Recorder* obs = options.resilience.obs != nullptr && options.resilience.obs->enabled()
+                        ? options.resilience.obs
+                        : nullptr;
+    SpanGuard resumable_span(obs, "alltoall_resumable");
+
+    // Failure detection happens before planning so the fd.suspect spans
+    // land ahead of the recovery.attempt spans they trigger.
+    int suspected_nodes = 0;
+    std::int64_t suspicion_tick = -1;
+    bool ran_detector = false;
+    bool node_faults = false;
+    for (const auto& spec : faults.specs()) {
+      node_faults = node_faults || spec.kind == FaultKind::kNode;
+    }
+    if (node_faults) {
+      ran_detector = true;
+      HeartbeatFailureDetector detector(N, options.detector, obs);
+      const auto suspicions =
+          detector.observe_heartbeats(faults, options.stall_deadline_ticks);
+      suspected_nodes = static_cast<int>(suspicions.size());
+      for (const auto& suspicion : suspicions) {
+        suspicion_tick = std::max(suspicion_tick, suspicion.suspected_at);
+      }
+    }
+
+    {
+      SpanGuard plan_span(obs, "plan");
+      outcome = plan_resilient(faults, options.resilience, bytes);
+    }
+    outcome.suspected_nodes = suspected_nodes;
+    outcome.suspicion_tick = suspicion_tick;
+    outcome.proactive_recovery = ran_detector && suspected_nodes > 0 &&
+                                 suspicion_tick < options.stall_deadline_ticks;
+    if (ran_detector) {
+      outcome.note += "; failure detector suspected " + std::to_string(suspected_nodes) +
+                      " node(s)" +
+                      (suspected_nodes > 0
+                           ? " by tick " + std::to_string(suspicion_tick) +
+                                 (outcome.proactive_recovery ? " (before the watchdog deadline "
+                                  : " (at/after the watchdog deadline ") +
+                                 std::to_string(options.stall_deadline_ticks) + ")"
+                           : "");
+    }
+
+    ParcelBuffers<T> parcels(static_cast<std::size_t>(N));
+    for (Rank p = 0; p < N; ++p) {
+      auto& buf = parcels[static_cast<std::size_t>(p)];
+      buf.reserve(static_cast<std::size_t>(N));
+      for (Rank q = 0; q < N; ++q) {
+        buf.push_back(
+            {Block{p, q}, send[static_cast<std::size_t>(p)][static_cast<std::size_t>(q)]});
+      }
+    }
+    JournalRunOptions run_options;
+    run_options.crash = options.crash;
+    run_options.cancel = options.cancel;
+    run_options.flush = options.flush;
+    run_options.obs = obs;
+    ResumeReport report;
+    ParcelBuffers<T> delivered;
+    if (outcome.algorithm == AlltoallAlgorithm::kSuhShin && !outcome.degraded) {
+      delivered = exchange_payloads_journaled(*schedule_, std::move(parcels), journal,
+                                              run_options, report);
+    } else {
+      // Degraded plan: the schedule is abandoned, but the journal stays
+      // the source of truth — deliver the undelivered delta directly.
+      run_options.crash = CrashPoint{};  // crash injection is schedule-granular
+      delivered = exchange_payloads_direct_journaled(*schedule_, std::move(parcels), journal,
+                                                     run_options, report);
+    }
+    outcome.resume = report;
+
+    SpanGuard permute_span(obs, "permute");
+    std::vector<std::vector<T>> recv(static_cast<std::size_t>(N));
+    for (Rank q = 0; q < N; ++q) {
+      auto& row = recv[static_cast<std::size_t>(q)];
+      row.resize(static_cast<std::size_t>(N));
+      for (const auto& parcel : delivered[static_cast<std::size_t>(q)]) {
+        row[static_cast<std::size_t>(parcel.block.origin)] = parcel.payload;
+      }
+    }
+    return recv;
+  }
+
+  /// Resumes an interrupted exchange from its journal: requires
+  /// recorded progress (a fresh run belongs to alltoall_resumable).
+  /// The send buffers must be the same ones the original run used.
+  template <typename T>
+  std::vector<std::vector<T>> resume(const std::vector<std::vector<T>>& send,
+                                     const FaultModel& faults, ExchangeJournal& journal,
+                                     ExchangeOutcome& outcome,
+                                     const ResumeOptions& options = {}) const {
+    TOREX_REQUIRE(journal.bound() && !journal.fresh(),
+                  "resume requires a journal with recorded progress");
+    return alltoall_resumable(send, faults, journal, outcome, options);
   }
 
  private:

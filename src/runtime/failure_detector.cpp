@@ -1,0 +1,129 @@
+#include "runtime/failure_detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace torex {
+namespace {
+
+constexpr double kLn10 = 2.302585092994046;
+
+}  // namespace
+
+void FailureDetectorOptions::validate() const {
+  TOREX_REQUIRE(heartbeat_interval >= 1,
+                "failure detector: heartbeat interval must be positive");
+  TOREX_REQUIRE(phi_threshold > 0.0, "failure detector: phi threshold must be positive");
+  TOREX_REQUIRE(window >= 1, "failure detector: sample window must hold at least one gap");
+}
+
+HeartbeatFailureDetector::HeartbeatFailureDetector(Rank num_nodes,
+                                                   FailureDetectorOptions options,
+                                                   Recorder* obs)
+    : num_nodes_(num_nodes), options_(options), obs_(obs) {
+  TOREX_REQUIRE(num_nodes >= 1, "failure detector needs at least one node");
+  options_.validate();
+  if (obs_ != nullptr && !obs_->enabled()) obs_ = nullptr;
+  nodes_.resize(static_cast<std::size_t>(num_nodes));
+}
+
+void HeartbeatFailureDetector::heartbeat(Rank node, std::int64_t tick) {
+  TOREX_REQUIRE(node >= 0 && node < num_nodes_, "heartbeat from unknown node");
+  auto& state = nodes_[static_cast<std::size_t>(node)];
+  TOREX_REQUIRE(state.last_arrival <= tick, "heartbeats must arrive in tick order");
+  if (state.last_arrival >= 0) {
+    const std::int64_t gap = tick - state.last_arrival;
+    if (static_cast<int>(state.intervals.size()) < options_.window) {
+      state.intervals.push_back(gap);
+    } else {
+      state.intervals[static_cast<std::size_t>(state.next_slot)] = gap;
+      state.next_slot = (state.next_slot + 1) % options_.window;
+    }
+  }
+  state.last_arrival = tick;
+}
+
+double HeartbeatFailureDetector::mean_interval(const NodeState& state) const {
+  if (state.intervals.empty()) {
+    return static_cast<double>(options_.heartbeat_interval);
+  }
+  std::int64_t sum = 0;
+  for (std::int64_t gap : state.intervals) sum += gap;
+  const double mean = static_cast<double>(sum) / static_cast<double>(state.intervals.size());
+  return std::max(mean, 1e-9);
+}
+
+double HeartbeatFailureDetector::phi(Rank node, std::int64_t tick) const {
+  TOREX_REQUIRE(node >= 0 && node < num_nodes_, "phi query for unknown node");
+  const auto& state = nodes_[static_cast<std::size_t>(node)];
+  if (state.last_arrival < 0) return 0.0;  // no history: trusted
+  const std::int64_t silence = tick - state.last_arrival;
+  if (silence <= 0) return 0.0;
+  return static_cast<double>(silence) / mean_interval(state) / kLn10;
+}
+
+std::vector<Rank> HeartbeatFailureDetector::suspects(std::int64_t tick) const {
+  std::vector<Rank> out;
+  for (Rank node = 0; node < num_nodes_; ++node) {
+    if (suspect(node, tick)) out.push_back(node);
+  }
+  return out;
+}
+
+std::int64_t HeartbeatFailureDetector::suspicion_tick(Rank node) const {
+  TOREX_REQUIRE(node >= 0 && node < num_nodes_, "suspicion query for unknown node");
+  const auto& state = nodes_[static_cast<std::size_t>(node)];
+  const std::int64_t last = state.last_arrival < 0 ? 0 : state.last_arrival;
+  const double silence_needed = options_.phi_threshold * mean_interval(state) * kLn10;
+  return last + static_cast<std::int64_t>(std::ceil(silence_needed));
+}
+
+std::vector<Suspicion> HeartbeatFailureDetector::observe_heartbeats(const FaultModel& faults,
+                                                                    std::int64_t up_to_tick) {
+  TOREX_REQUIRE(up_to_tick >= 0, "failure detector horizon must be non-negative");
+  std::vector<Suspicion> transitions;
+  for (std::int64_t tick = 0; tick <= up_to_tick; ++tick) {
+    if (tick % options_.heartbeat_interval == 0) {
+      for (Rank node = 0; node < num_nodes_; ++node) {
+        if (!faults.node_failed(node, tick)) heartbeat(node, tick);
+      }
+    }
+    for (Rank node = 0; node < num_nodes_; ++node) {
+      auto& state = nodes_[static_cast<std::size_t>(node)];
+      const bool suspected_now = suspect(node, tick);
+      if (suspected_now && !state.suspected) {
+        transitions.push_back({node, tick, phi(node, tick)});
+        if (obs_ != nullptr) {
+          // Zero-length span so the suspicion shows up in Chrome traces
+          // strictly before the recovery.attempt spans it triggers.
+          obs_->begin("fd.suspect", node);
+          obs_->end("fd.suspect", node);
+          obs_->instant("fd.suspicion_tick", node, 0, 0, tick);
+          obs_->metrics().counter("fd.suspects").add();
+        }
+      }
+      state.suspected = suspected_now;
+    }
+  }
+  return transitions;
+}
+
+std::string HeartbeatFailureDetector::summary(std::int64_t tick) const {
+  const auto suspected = suspects(tick);
+  std::ostringstream out;
+  out << "failure detector @ tick " << tick << ": " << suspected.size() << "/" << num_nodes_
+      << " suspected";
+  if (!suspected.empty()) {
+    out << " [";
+    for (std::size_t i = 0; i < suspected.size(); ++i) {
+      out << (i == 0 ? "" : ", ") << suspected[i];
+    }
+    out << "]";
+  }
+  return out.str();
+}
+
+}  // namespace torex

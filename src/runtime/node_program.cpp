@@ -134,6 +134,16 @@ ExchangeTrace StepSynchronousRuntime::run_verified() {
         if (options_.cancel != nullptr && options_.cancel->load()) {
           throw ExchangeCancelledError("step-synchronous runtime cancelled by caller");
         }
+        if (options_.suspect_probe) {
+          if (const auto suspect = options_.suspect_probe()) {
+            if (obs != nullptr) {
+              obs->begin("fd.suspect", *suspect);
+              obs->end("fd.suspect", *suspect);
+              obs->metrics().counter("fd.suspects").add();
+            }
+            throw CrashSuspectedError(record.phase, record.step, *suspect);
+          }
+        }
         if (options_.before_send_hook) options_.before_send_hook(record.phase, record.step, p);
         if (options_.stall_deadline.count() > 0 &&
             std::chrono::steady_clock::now() - superstep_start >= options_.stall_deadline) {

@@ -26,6 +26,7 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "core/aape.hpp"
@@ -110,6 +111,12 @@ struct StepSyncOptions {
   /// Fault-injection seam for tests: invoked before each node's
   /// collect_outgoing.
   std::function<void(int phase, int step, Rank node)> before_send_hook;
+
+  /// Failure-detector probe, polled at node boundaries alongside the
+  /// cancel flag: returning a rank aborts the run with
+  /// CrashSuspectedError before the stall deadline fires. Null
+  /// disables.
+  std::function<std::optional<Rank>()> suspect_probe;
 
   /// Optional telemetry sink: per-node step spans (pid = node in the
   /// exported trace) plus step/blocks counters.

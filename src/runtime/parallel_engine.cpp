@@ -244,6 +244,7 @@ ExchangeTrace ParallelExchange::run_verified() {
       watchdog ? std::max<std::int64_t>(1, std::min<std::int64_t>(deadline.count() / 4, 100))
                : 100);
   bool stalled = false;
+  std::optional<Rank> suspected;
   {
     std::unique_lock<std::mutex> lk(st->mu);
     std::int64_t last_progress = st->progress.load(std::memory_order_relaxed);
@@ -256,6 +257,21 @@ ExchangeTrace ParallelExchange::run_verified() {
         // is decided below by whether it actually completed.
         st->external_tripped.store(true, std::memory_order_relaxed);
         st->cancel.store(true, std::memory_order_relaxed);
+      }
+      if (options_.suspect_probe && !suspected &&
+          !st->cancel.load(std::memory_order_relaxed)) {
+        suspected = options_.suspect_probe();
+        if (suspected) {
+          // Proactive abort: the failure detector named a dead node, so
+          // stop cooperatively now instead of burning the whole stall
+          // deadline waiting for the watchdog.
+          if (obs != nullptr) {
+            obs->begin("fd.suspect", *suspected);
+            obs->end("fd.suspect", *suspected);
+            obs->metrics().counter("fd.suspects").add();
+          }
+          st->cancel.store(true, std::memory_order_relaxed);
+        }
       }
       const std::int64_t now_progress = st->progress.load(std::memory_order_relaxed);
       const auto now = std::chrono::steady_clock::now();
@@ -304,6 +320,16 @@ ExchangeTrace ParallelExchange::run_verified() {
   }
   if (!completed && st->external_tripped.load(std::memory_order_relaxed)) {
     throw ExchangeCancelledError("parallel exchange cancelled by caller");
+  }
+  if (!completed && suspected) {
+    // Attribute the abort to the slowest worker's superstep, same as a
+    // stall would be.
+    std::int64_t slow_step = st->thread_step[0].load(std::memory_order_relaxed);
+    for (std::size_t tid = 1; tid < static_cast<std::size_t>(T); ++tid) {
+      slow_step = std::min(slow_step, st->thread_step[tid].load(std::memory_order_relaxed));
+    }
+    const std::size_t stuck = std::min(static_cast<std::size_t>(slow_step), steps.size() - 1);
+    throw CrashSuspectedError(steps[stuck].phase, steps[stuck].step, *suspected);
   }
   if (!completed && stalled) {
     // Attribute the stall: the slowest worker's superstep and the node

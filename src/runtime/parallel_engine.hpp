@@ -29,6 +29,7 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <optional>
 
 #include "core/aape.hpp"
 #include "core/exchange_engine.hpp"
@@ -59,6 +60,12 @@ struct ParallelOptions {
   /// exception.
   std::function<void(int phase, int step, Rank node, const std::atomic<bool>& cancel)>
       before_send_hook;
+
+  /// Failure-detector probe, polled by the monitor thread alongside the
+  /// watchdog: returning a rank names a node suspected dead and aborts
+  /// the run as CrashSuspectedError at the next superstep boundary —
+  /// *before* the stall deadline would have fired. Null disables.
+  std::function<std::optional<Rank>()> suspect_probe;
 
   /// Optional telemetry sink: superstep spans, barrier-wait histogram,
   /// watchdog arm/fire events. The workers keep their own copy of the

@@ -20,6 +20,16 @@ std::string to_string(RecoveryPolicy policy) {
   TOREX_UNREACHABLE();
 }
 
+void BackoffConfig::validate() const {
+  TOREX_REQUIRE(max_attempts >= 1,
+                "recovery options: max_attempts must be at least 1 (a zero budget would "
+                "silently skip the retry stage)");
+  TOREX_REQUIRE(base_ticks >= 1,
+                "recovery options: backoff multiplier (base_ticks) must be positive");
+  TOREX_REQUIRE(max_ticks >= base_ticks,
+                "recovery options: inverted tick window (max_ticks < base_ticks)");
+}
+
 std::int64_t backoff_wait(const BackoffConfig& config, int attempt) {
   TOREX_REQUIRE(attempt >= 1, "backoff attempts are 1-based");
   TOREX_REQUIRE(config.base_ticks >= 1 && config.max_ticks >= config.base_ticks,
@@ -274,7 +284,7 @@ RecoveryDecision decide_recovery(const Torus& torus, const SuhShinAape* schedule
                                  const BackoffConfig& backoff, std::int64_t start_tick,
                                  Recorder* obs) {
   TOREX_REQUIRE(start_tick >= 0, "start tick must be non-negative");
-  TOREX_REQUIRE(backoff.max_attempts >= 0, "backoff attempt budget must be non-negative");
+  backoff.validate();
   if (obs != nullptr && !obs->enabled()) obs = nullptr;
   SpanGuard decide_span(obs, "recovery_decide");
 
@@ -289,7 +299,14 @@ RecoveryDecision decide_recovery(const Torus& torus, const SuhShinAape* schedule
   RecoveryDecision decision;
   decision.run_tick = start_tick;
   count("recovery.attempts", 1);
-  FaultImpactReport report = audit(start_tick);
+  FaultImpactReport report;
+  {
+    // Attempt 0 is the initial audit: it gets a recovery.attempt span
+    // too, so crash-fault decisions that go straight to remap/fallback
+    // are still visible after any fd.suspect spans that triggered them.
+    SpanGuard first_attempt_span(obs, "recovery.attempt", -1, 0, 0);
+    report = audit(start_tick);
+  }
   if (report.clean()) return decision;  // policy kNone: nothing to recover from
 
   decision.blocking = report.first_impact;
@@ -310,7 +327,7 @@ RecoveryDecision decide_recovery(const Torus& torus, const SuhShinAape* schedule
     std::int64_t tick = start_tick;
     for (int attempt = 1; attempt <= backoff.max_attempts; ++attempt) {
       // The span's value annotates how long this attempt backed off.
-      SpanGuard attempt_span(obs, "recovery_attempt", -1, 0, attempt);
+      SpanGuard attempt_span(obs, "recovery.attempt", -1, 0, attempt);
       const std::int64_t wait = backoff_wait(backoff, attempt);
       if (obs != nullptr) obs->instant("backoff_wait", -1, 0, attempt, wait);
       tick += wait;

@@ -54,6 +54,13 @@ struct BackoffConfig {
   int max_attempts = 8;
   std::int64_t base_ticks = 1;
   std::int64_t max_ticks = 1 << 16;
+
+  /// Rejects configurations that would loop forever or underflow:
+  /// zero/negative max-attempts, a non-positive backoff multiplier
+  /// (base_ticks), or an inverted tick window (max_ticks < base_ticks).
+  /// Throws std::invalid_argument. Every recovery entry point calls
+  /// this before its first audit.
+  void validate() const;
 };
 
 /// Ticks attempt `attempt` (1-based) waits under `config`.

@@ -58,4 +58,33 @@ class ExchangeCancelledError : public std::runtime_error {
   explicit ExchangeCancelledError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Raised when a runtime's failure-detector probe (the suspect_probe
+/// hook) names a node suspected dead: the run is abandoned at the next
+/// superstep boundary so recovery can start *before* the stall deadline
+/// would have fired. Carries the suspect and where the run stopped.
+class CrashSuspectedError : public std::runtime_error {
+ public:
+  CrashSuspectedError(int phase, int step, Rank suspect)
+      : std::runtime_error(format(phase, step, suspect)),
+        phase_(phase),
+        step_(step),
+        suspect_(suspect) {}
+
+  int phase() const { return phase_; }
+  int step() const { return step_; }
+  Rank suspect() const { return suspect_; }
+
+ private:
+  static std::string format(int phase, int step, Rank suspect) {
+    std::ostringstream os;
+    os << "node " << suspect << " suspected dead by the failure detector; aborting at phase "
+       << phase << " step " << step << " for proactive recovery";
+    return os.str();
+  }
+
+  int phase_;
+  int step_;
+  Rank suspect_;
+};
+
 }  // namespace torex

@@ -77,6 +77,40 @@ FaultModel& FaultModel::fail_node(Rank node, std::int64_t active_from,
   return *this;
 }
 
+FaultModel& FaultModel::crash_node(Rank node, std::int64_t crash_tick,
+                                   std::int64_t rejoin_tick) {
+  fail_node(node, crash_tick, rejoin_tick);  // validates node and window
+  CrashFault crash;
+  crash.node = node;
+  crash.crash_tick = crash_tick;
+  crash.rejoin_tick = rejoin_tick;
+  crashes_.push_back(crash);
+  return *this;
+}
+
+FaultModel& FaultModel::inject_random_crashes(const Torus& torus, std::uint64_t seed, int count,
+                                              std::int64_t crash_tick) {
+  TOREX_REQUIRE(count >= 0, "crash count must be non-negative");
+  TOREX_REQUIRE(count <= torus.shape().num_nodes(), "more crashes than nodes");
+  SplitMix64 rng(seed);
+  std::vector<Rank> chosen;
+  while (static_cast<int>(chosen.size()) < count) {
+    const Rank node = static_cast<Rank>(
+        rng.next_below(static_cast<std::uint64_t>(torus.shape().num_nodes())));
+    if (std::find(chosen.begin(), chosen.end(), node) != chosen.end()) continue;
+    chosen.push_back(node);
+    crash_node(node, crash_tick);
+  }
+  return *this;
+}
+
+std::string CrashFault::describe() const {
+  std::string out = "node " + std::to_string(node) + " crashes at tick " +
+                    std::to_string(crash_tick);
+  out += rejoins() ? (", rejoins at tick " + std::to_string(rejoin_tick)) : ", never rejoins";
+  return out;
+}
+
 FaultModel& FaultModel::inject_random_channel_faults(const Torus& torus, std::uint64_t seed,
                                                      int count, std::int64_t active_from,
                                                      std::int64_t active_until) {

@@ -66,6 +66,22 @@ struct FaultSpec {
   std::string describe(const Torus& torus) const;
 };
 
+/// A whole-node death at a point in time, the failure detector's unit
+/// of input: the node falls silent at `crash_tick` and (optionally)
+/// rejoins at `rejoin_tick`. Sugar over a kNode FaultSpec — recording
+/// one through FaultModel::crash_node also adds the equivalent node
+/// fault, so routing, audits, and recovery all see the dead node — but
+/// kept as its own record so detectors and tools can enumerate crashes
+/// without pattern-matching spec windows.
+struct CrashFault {
+  Rank node = -1;
+  std::int64_t crash_tick = 0;
+  std::int64_t rejoin_tick = kFaultForever;
+
+  bool rejoins() const { return rejoin_tick != kFaultForever; }
+  std::string describe() const;
+};
+
 /// A deterministic set of faults. Value type; cheap to copy. Queries
 /// scan the spec list linearly — fault sets are small by construction
 /// (a handful of failures, not half the machine).
@@ -78,6 +94,18 @@ class FaultModel {
                            std::int64_t active_until = kFaultForever);
   FaultModel& fail_node(Rank node, std::int64_t active_from = 0,
                         std::int64_t active_until = kFaultForever);
+
+  /// Records a CrashFault and its equivalent node fault: dead in
+  /// [crash_tick, rejoin_tick).
+  FaultModel& crash_node(Rank node, std::int64_t crash_tick,
+                         std::int64_t rejoin_tick = kFaultForever);
+
+  /// Seeded injection of `count` distinct crashing nodes, all dying at
+  /// `crash_tick` and never rejoining.
+  FaultModel& inject_random_crashes(const Torus& torus, std::uint64_t seed, int count,
+                                    std::int64_t crash_tick = 0);
+
+  const std::vector<CrashFault>& crashes() const { return crashes_; }
 
   /// Seeded injection: appends `count` distinct random channel faults
   /// drawn with SplitMix64(seed). Deterministic across platforms.
@@ -120,6 +148,7 @@ class FaultModel {
 
  private:
   std::vector<FaultSpec> specs_;
+  std::vector<CrashFault> crashes_;
 };
 
 // --- Corruption faults -------------------------------------------------

@@ -24,9 +24,12 @@
 #include "obs/metrics.hpp"
 #include "obs/recorder.hpp"
 #include "runtime/communicator.hpp"
+#include "runtime/failure_detector.hpp"
+#include "runtime/journal.hpp"
 #include "runtime/node_program.hpp"
 #include "runtime/parallel_engine.hpp"
 #include "runtime/recovery.hpp"
+#include "runtime/watchdog.hpp"
 #include "sim/contention.hpp"
 #include "sim/cost_simulator.hpp"
 #include "sim/fault_model.hpp"

@@ -7,12 +7,17 @@
 
 #include <atomic>
 #include <chrono>
+#include <optional>
 #include <stdexcept>
 #include <thread>
+#include <vector>
 
 #include "core/exchange_engine.hpp"
+#include "runtime/communicator.hpp"
 #include "runtime/node_program.hpp"
 #include "runtime/parallel_engine.hpp"
+#include "runtime/watchdog.hpp"
+#include "sim/fault_model.hpp"
 
 namespace torex {
 namespace {
@@ -174,6 +179,114 @@ TEST(StepSyncWatchdogTest, StallErrorCarriesContext) {
   EXPECT_NE(what.find("step 2"), std::string::npos);
   EXPECT_NE(what.find("node 7"), std::string::npos);
   EXPECT_NE(what.find("test detail"), std::string::npos);
+}
+
+// --- Cancel racing the journal's flush/commit window -------------------
+
+TEST(JournalCancelRaceTest, CancelBetweenFlushAndCommitLeavesResumableJournal) {
+  // The worst-case race for crash durability: the cancel flag flips
+  // after a step's deliveries are flushed but before its commit marker
+  // is appended. The run must unwind as ExchangeCancelledError, the
+  // journal must load, and a re-run must finish exactly-once — the
+  // flushed-but-uncommitted parcels materialize and their re-sent seed
+  // copies are dropped as duplicates.
+  const TorusShape shape({4, 4});
+  const SuhShinAape algo(shape);
+  const Rank n = shape.num_nodes();
+  std::vector<std::vector<std::int64_t>> send(static_cast<std::size_t>(n));
+  for (Rank p = 0; p < n; ++p) {
+    for (Rank q = 0; q < n; ++q) {
+      send[static_cast<std::size_t>(p)].push_back(static_cast<std::int64_t>(p) * n + q);
+    }
+  }
+  const TorusCommunicator comm(shape, CostParams{});
+
+  std::atomic<bool> cancel{false};
+  ResumeOptions options;
+  options.resilience.algorithm = AlltoallAlgorithm::kSuhShin;
+  options.cancel = &cancel;
+  int flushes = 0;
+  // The deliveries flush of step k is followed by the cancel poll and
+  // only then the commit flush; tripping the flag inside an odd flush
+  // lands the cancellation exactly in the window.
+  options.flush = [&](const ExchangeJournal&) {
+    if (++flushes == 3) cancel.store(true);
+  };
+
+  ExchangeJournal journal;
+  ExchangeOutcome outcome;
+  EXPECT_THROW(comm.alltoall_resumable(send, FaultModel{}, journal, outcome, options),
+               ExchangeCancelledError);
+  EXPECT_FALSE(journal.exchange_complete());
+  EXPECT_GT(journal.uncommitted_deliveries().size(), 0u)
+      << "the cancel must land between a flush and its commit";
+
+  ExchangeJournal loaded = ExchangeJournal::decode(journal.encode());
+  EXPECT_FALSE(loaded.torn_tail());
+  ExchangeOutcome resumed;
+  ResumeOptions clean;
+  clean.resilience.algorithm = AlltoallAlgorithm::kSuhShin;
+  const auto recv = comm.resume(send, FaultModel{}, loaded, resumed, clean);
+  for (Rank p = 0; p < n; ++p) {
+    for (Rank q = 0; q < n; ++q) {
+      ASSERT_EQ(recv[static_cast<std::size_t>(p)][static_cast<std::size_t>(q)],
+                static_cast<std::int64_t>(q) * n + p);
+    }
+  }
+  ASSERT_TRUE(resumed.resume.has_value());
+  EXPECT_GT(resumed.resume->materialized, 0);
+  EXPECT_EQ(resumed.resume->materialized, resumed.resume->duplicates_dropped);
+  EXPECT_TRUE(loaded.exchange_complete());
+}
+
+// --- Suspect probe: proactive aborts ahead of the stall deadline -------
+
+TEST(ParallelWatchdogTest, SuspectProbeAbortsBeforeStallDeadline) {
+  const SuhShinAape algo(TorusShape({4, 4}));
+  ParallelOptions options;
+  options.num_threads = 2;
+  // Generous deadline: if the probe does not fire, this test times out
+  // at the ctest layer instead of passing by accident.
+  options.stall_deadline = 30s;
+  options.suspect_probe = [] { return std::optional<Rank>(Rank{6}); };
+  // Wedge one worker cooperatively so the run cannot simply finish
+  // before the monitor polls the probe.
+  options.before_send_hook = [](int phase, int step, Rank node, const std::atomic<bool>& cancel) {
+    if (phase == 3 && step == 1 && node == 1) {
+      while (!cancel.load()) std::this_thread::sleep_for(1ms);
+    }
+  };
+  ParallelExchange parallel(algo, options);
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    parallel.run_verified();
+    FAIL() << "suspected node must abort the run";
+  } catch (const CrashSuspectedError& e) {
+    EXPECT_EQ(e.suspect(), 6);
+  }
+  EXPECT_LT(std::chrono::steady_clock::now() - start, 10s)
+      << "proactive abort must beat the stall deadline";
+}
+
+TEST(StepSyncWatchdogTest, SuspectProbeAbortsBeforeStallDeadline) {
+  const SuhShinAape algo(TorusShape({4, 4}));
+  StepSyncOptions options;
+  options.stall_deadline = 30s;
+  std::atomic<int> visits{0};
+  options.suspect_probe = [&]() -> std::optional<Rank> {
+    // Trusted for the first superstep, then node 9 goes silent.
+    if (visits.load() > static_cast<int>(algo.shape().num_nodes())) return Rank{9};
+    return std::nullopt;
+  };
+  options.before_send_hook = [&](int, int, Rank) { ++visits; };
+  StepSynchronousRuntime runtime(algo, options);
+  try {
+    runtime.run_verified();
+    FAIL() << "suspected node must abort the run";
+  } catch (const CrashSuspectedError& e) {
+    EXPECT_EQ(e.suspect(), 9);
+    EXPECT_GE(e.phase(), 3);  // the 4x4 schedule's first active phase
+  }
 }
 
 }  // namespace

@@ -1,9 +1,11 @@
 // torex_trace — run one instrumented exchange and export its telemetry.
 //
 //   ./torex_trace [--torus=8x8] [--out=torex_trace.json]
-//                 [--mode=engine|parallel|payload|checked]
+//                 [--mode=engine|parallel|payload|checked|resumable]
 //                 [--faults=0] [--corrupt=0] [--seed=0] [--threads=0]
 //                 [--buffer=65536] [--block-bytes=64]
+//                 [--journal=torex_journal.toxj] [--kill-at=PHASE]
+//                 [--kill-step=1] [--resume] [--crash=0]
 //
 // Runs the Suh-Shin exchange on the given torus (extents multiples of
 // four, sorted non-increasing, e.g. 8x8 or 8x4x4) with a telemetry
@@ -21,7 +23,19 @@
 //             (--faults=K channel faults, --corrupt=K corrupting
 //             channels) — retry, escalation, and recovery spans appear
 //             in the trace and the retransmit counters go nonzero.
-// --faults/--corrupt switch the default mode to `checked`. The emitted
+//   resumable crash-durable journaled alltoall. --kill-at=PHASE
+//             (--kill-step=S, 1-based within the phase) arms a crash
+//             point: the run journals to --journal=FILE, dies with a
+//             saved journal, and prints its summary. A second
+//             invocation with --resume loads that journal and finishes
+//             the exchange as a delta — the report compares parcels
+//             re-sent against a full restart. --crash=K instead crashes
+//             K random nodes in the fault model so the heartbeat
+//             failure detector fires (fd.suspect spans precede the
+//             recovery.attempt spans in the trace) and the journaled
+//             degraded path delivers the delta.
+// --faults/--corrupt switch the default mode to `checked`;
+// --kill-at/--resume/--crash switch it to `resumable`. The emitted
 // JSON is validated with the built-in RFC 8259 checker before writing;
 // buffer overflow (undersized --buffer) is reported as dropped events.
 #include <fstream>
@@ -36,6 +50,7 @@
 #include "runtime/communicator.hpp"
 #include "runtime/parallel_engine.hpp"
 #include "sim/fault_model.hpp"
+#include "topology/torus.hpp"
 #include "util/cli.hpp"
 
 namespace {
@@ -88,14 +103,21 @@ int main(int argc, char** argv) {
     const CliFlags flags = CliFlags::parse(
         argc, argv,
         {"torus", "out", "mode", "faults", "corrupt", "seed", "threads", "buffer",
-         "block-bytes"});
+         "block-bytes", "journal", "kill-at", "kill-step", "resume", "crash"});
     const TorusShape shape = parse_torus(flags.get_string("torus", "8x8"));
     const std::string out_path = flags.get_string("out", "torex_trace.json");
     const int faults_k = static_cast<int>(flags.get_int("faults", 0));
     const int corrupt_k = static_cast<int>(flags.get_int("corrupt", 0));
     const std::uint64_t seed = static_cast<std::uint64_t>(flags.get_int("seed", 0));
+    const int kill_phase = static_cast<int>(flags.get_int("kill-at", 0));
+    const int kill_step = static_cast<int>(flags.get_int("kill-step", 1));
+    const bool do_resume = flags.get_bool("resume", false);
+    const int crash_k = static_cast<int>(flags.get_int("crash", 0));
+    const bool wants_resumable = kill_phase > 0 || do_resume || crash_k > 0;
     const std::string mode = flags.get_string(
-        "mode", faults_k > 0 || corrupt_k > 0 ? "checked" : "engine");
+        "mode", wants_resumable           ? "resumable"
+                : faults_k || corrupt_k   ? "checked"
+                                          : "engine");
 
     ObsOptions obs_options;
     obs_options.events_per_thread =
@@ -153,6 +175,94 @@ int main(int argc, char** argv) {
       comm.alltoall_checked(make_send(shape.num_nodes()), fault_model, corruption, outcome,
                             options);
       std::cout << "outcome: " << outcome.summary() << "\n";
+      trace = schedule_trace(algo);
+    } else if (mode == "resumable") {
+      const TorusCommunicator comm(shape, params);
+      const std::string journal_path = flags.get_string("journal", "torex_journal.toxj");
+      const Rank N = shape.num_nodes();
+      const auto send = make_send(N);
+      const auto matches = [&](const std::vector<std::vector<std::int64_t>>& recv) {
+        for (Rank p = 0; p < N; ++p) {
+          for (Rank q = 0; q < N; ++q) {
+            const auto got = recv[static_cast<std::size_t>(p)][static_cast<std::size_t>(q)];
+            if (got != static_cast<std::int64_t>(q) * N + p) return false;
+          }
+        }
+        return true;
+      };
+
+      FaultModel fault_model;
+      if (crash_k > 0) {
+        // Crash after a few heartbeats so the phi-accrual detector has
+        // interval history to accrue suspicion against.
+        fault_model.inject_random_crashes(Torus(shape), seed * 0x9E3779B9u + 0xDEADu,
+                                          crash_k, /*crash_tick=*/8);
+        for (const auto& crash : fault_model.crashes()) {
+          std::cout << "injected: " << crash.describe() << "\n";
+        }
+      }
+
+      ResumeOptions options;
+      options.resilience.algorithm = AlltoallAlgorithm::kSuhShin;
+      options.resilience.block_bytes = params.m;
+      options.resilience.obs = &recorder;
+      // Durability hook: every flush rewrites the journal file, so the
+      // on-disk state always trails the in-memory one by at most the
+      // record being written — exactly the torn-tail case decode drops.
+      options.flush = [&](const ExchangeJournal& j) { j.save_file(journal_path); };
+
+      ExchangeOutcome outcome;
+      if (do_resume) {
+        ExchangeJournal journal = ExchangeJournal::load_file(journal_path);
+        std::cout << "loaded " << journal.summary() << "\n";
+        const auto recv = comm.resume(send, fault_model, journal, outcome, options);
+        journal.save_file(journal_path);
+        if (!matches(recv)) {
+          std::cerr << "error: resumed exchange broke the AAPE permutation\n";
+          return 1;
+        }
+        std::cout << "outcome: " << outcome.summary() << "\n";
+
+        // Full-restart baseline: a fresh journaled run over the same
+        // payloads, counted but not kept.
+        ExchangeJournal fresh;
+        ExchangeOutcome fresh_outcome;
+        ResumeOptions fresh_options;
+        fresh_options.resilience.algorithm = AlltoallAlgorithm::kSuhShin;
+        comm.alltoall_resumable(send, FaultModel{}, fresh, fresh_outcome, fresh_options);
+        const auto& r = *outcome.resume;
+        std::cout << "resume re-sent " << r.sent_parcels << " parcels vs "
+                  << fresh_outcome.resume->sent_parcels << " for a full restart ("
+                  << r.replayed_parcels << " replayed locally, " << r.materialized
+                  << " already durable, " << r.duplicates_dropped
+                  << " duplicates dropped)\n";
+      } else {
+        if (kill_phase > 0) {
+          options.crash = CrashPoint{kill_phase, kill_step, /*after_flush=*/true};
+        }
+        ExchangeJournal journal;
+        try {
+          const auto recv = comm.alltoall_resumable(send, fault_model, journal, outcome,
+                                                    options);
+          journal.save_file(journal_path);
+          if (!matches(recv)) {
+            std::cerr << "error: journaled exchange broke the AAPE permutation\n";
+            return 1;
+          }
+          if (options.crash.armed()) {
+            std::cout << "note: crash point (phase " << options.crash.phase << ", step "
+                      << options.crash.step
+                      << ") never fired — no such active step in this schedule\n";
+          }
+          std::cout << "outcome: " << outcome.summary() << "\n";
+        } catch (const ExchangeCrashError& e) {
+          journal.save_file(journal_path);
+          std::cout << "process died at phase " << e.phase() << " step " << e.step()
+                    << " — " << journal.summary() << "\n";
+          std::cout << "journal saved to " << journal_path
+                    << "; re-run with --resume to finish the exchange\n";
+        }
+      }
       trace = schedule_trace(algo);
     } else {
       throw std::invalid_argument("unknown --mode=" + mode +

@@ -163,12 +163,23 @@ bool chaos_sweep(const TorusShape& shape, int runs, std::uint64_t base_seed, Rec
     std::vector<std::vector<std::int64_t>> recv;
     try {
       recv = comm.alltoall_checked(send, faults, corruption, outcome, options);
-    } catch (const std::exception& e) {
+    } catch (const IntegrityError&) {
       // A loud, attributed refusal is an acceptable chaos outcome —
       // the property under test is "no silent corruption", not "always
       // deliverable".
       ++detected;
       continue;
+    } catch (const FaultedExchangeError&) {
+      ++detected;
+      continue;
+    } catch (const std::exception& e) {
+      // Anything else — a lost-parcel TOREX_CHECK, a bad_alloc, an
+      // invariant violation — is a genuine failure, not a detected
+      // fault, and must fail the sweep (and CI) loudly.
+      std::cerr << "FAIL " << shape.to_string() << ": chaos run " << run
+                << " raised an unexpected exception (not an attributed integrity/fault "
+                << "refusal): " << e.what() << '\n';
+      return false;
     }
     for (Rank q = 0; q < N; ++q) {
       for (Rank p = 0; p < N; ++p) {
@@ -193,6 +204,171 @@ bool chaos_sweep(const TorusShape& shape, int runs, std::uint64_t base_seed, Rec
   return true;
 }
 
+/// Kill-and-resume sweep over one shape: `runs` seeded rounds; a
+/// `kill_rate`-percent fraction injects a crash (cycling through every
+/// active (phase, step) of the schedule, alternating before/after the
+/// journal flush), round-trips the journal through encode/decode —
+/// occasionally truncating the tail to exercise torn-write recovery —
+/// and resumes. Every round must deliver the exact AAPE permutation
+/// (zero lost, zero duplicated parcels; duplicates that arrive are
+/// counted and dropped), and every resume with at least one committed
+/// step must re-send strictly fewer parcels than a full restart. On
+/// failure the offending journal is saved as a .toxj artifact for CI to
+/// upload.
+bool kill_resume_sweep(const TorusShape& shape, int runs, int kill_rate,
+                       std::uint64_t base_seed, Recorder* obs) {
+  const TorusCommunicator comm(shape, CostParams{});
+  const SuhShinAape algo(shape);
+  const Rank N = comm.size();
+  std::vector<std::vector<std::int64_t>> send(static_cast<std::size_t>(N));
+  for (Rank p = 0; p < N; ++p) {
+    auto& row = send[static_cast<std::size_t>(p)];
+    row.reserve(static_cast<std::size_t>(N));
+    for (Rank q = 0; q < N; ++q) row.push_back(static_cast<std::int64_t>(p) * N + q);
+  }
+  const auto matches_oracle = [&](const std::vector<std::vector<std::int64_t>>& recv) {
+    for (Rank q = 0; q < N; ++q) {
+      for (Rank p = 0; p < N; ++p) {
+        if (recv[static_cast<std::size_t>(q)][static_cast<std::size_t>(p)] !=
+            send[static_cast<std::size_t>(p)][static_cast<std::size_t>(q)]) {
+          return false;
+        }
+      }
+    }
+    return true;
+  };
+  const auto save_artifact = [&](const ExchangeJournal& journal, int run) {
+    const std::string path = "journal_fail_" + shape.to_string() + "_run" +
+                             std::to_string(run) + ".toxj";
+    try {
+      journal.save_file(path);
+      std::cerr << "  journal artifact saved: " << path << '\n';
+    } catch (const std::exception& e) {
+      std::cerr << "  journal artifact NOT saved: " << e.what() << '\n';
+    }
+  };
+
+  std::vector<std::pair<int, int>> active;
+  for (int phase = 1; phase <= algo.num_phases(); ++phase) {
+    for (int step = 1; step <= algo.steps_in_phase(phase); ++step) {
+      active.emplace_back(phase, step);
+    }
+  }
+
+  // Full-restart baseline: one healthy journaled run fixes the send
+  // count every resume must beat.
+  std::int64_t full_sent = 0;
+  {
+    ExchangeJournal journal;
+    ExchangeOutcome outcome;
+    ResumeOptions options;
+    options.resilience.algorithm = AlltoallAlgorithm::kSuhShin;
+    options.resilience.obs = obs;
+    const auto recv = comm.alltoall_resumable(send, FaultModel{}, journal, outcome, options);
+    if (!matches_oracle(recv) || !journal.exchange_complete()) {
+      std::cerr << "FAIL " << shape.to_string() << ": healthy journaled baseline broke ("
+                << outcome.summary() << ")\n";
+      save_artifact(journal, -1);
+      return false;
+    }
+    full_sent = outcome.resume->sent_parcels;
+  }
+
+  std::int64_t kills = 0, resumed_sent = 0, duplicates = 0, torn = 0;
+  for (int run = 0; run < runs; ++run) {
+    SplitMix64 rng(shape_seed(shape, base_seed) + 0xD1CEu + static_cast<std::uint64_t>(run));
+    ResumeOptions options;
+    options.resilience.algorithm = AlltoallAlgorithm::kSuhShin;
+    options.resilience.obs = obs;
+    if (static_cast<int>(rng.next_below(100)) >= kill_rate) {
+      ExchangeJournal journal;
+      ExchangeOutcome outcome;
+      const auto recv = comm.alltoall_resumable(send, FaultModel{}, journal, outcome, options);
+      if (!matches_oracle(recv)) {
+        std::cerr << "FAIL " << shape.to_string() << ": kill sweep run " << run
+                  << " (no kill) broke the permutation\n";
+        save_artifact(journal, run);
+        return false;
+      }
+      continue;
+    }
+
+    // Cycle the kill point by kill count so every phase and step of the
+    // schedule gets killed in, regardless of the rate.
+    const auto [phase, step] = active[static_cast<std::size_t>(kills) % active.size()];
+    ++kills;
+    options.crash = CrashPoint{phase, step, (rng.next() & 1u) != 0};
+    ExchangeJournal journal;
+    ExchangeOutcome outcome;
+    bool crashed = false;
+    try {
+      comm.alltoall_resumable(send, FaultModel{}, journal, outcome, options);
+    } catch (const ExchangeCrashError&) {
+      crashed = true;
+    }
+    if (!crashed) {
+      std::cerr << "FAIL " << shape.to_string() << ": crash point phase " << phase << " step "
+                << step << " never fired in run " << run << '\n';
+      save_artifact(journal, run);
+      return false;
+    }
+
+    // Durability round-trip; every fourth kill also tears the tail to
+    // prove a mid-write death still loads. A fresh journal (kill before
+    // the first flush) is all header — tearing it is header corruption,
+    // not a torn record, so leave it whole.
+    std::vector<std::byte> bytes = journal.encode();
+    if ((rng.next() & 3u) == 0 && !journal.fresh()) {
+      bytes.resize(bytes.size() - static_cast<std::size_t>(1 + rng.next_below(7)));
+    }
+    ExchangeJournal loaded = ExchangeJournal::decode(bytes);
+    if (loaded.torn_tail()) ++torn;
+    const std::int64_t committed = loaded.committed_steps();
+
+    ExchangeOutcome resumed_outcome;
+    ResumeOptions resume_options;
+    resume_options.resilience.algorithm = AlltoallAlgorithm::kSuhShin;
+    resume_options.resilience.obs = obs;
+    const auto recv =
+        comm.alltoall_resumable(send, FaultModel{}, loaded, resumed_outcome, resume_options);
+    if (!matches_oracle(recv)) {
+      std::cerr << "FAIL " << shape.to_string() << ": LOST OR DUPLICATED PARCELS after "
+                << "kill+resume in run " << run << " (kill at phase " << phase << " step "
+                << step << "; " << resumed_outcome.summary() << ")\n";
+      save_artifact(loaded, run);
+      return false;
+    }
+    const ResumeReport& report = *resumed_outcome.resume;
+    duplicates += report.duplicates_dropped;
+    resumed_sent += report.sent_parcels;
+    if (committed > 0 && report.sent_parcels >= full_sent) {
+      std::cerr << "FAIL " << shape.to_string() << ": resume after kill at phase " << phase
+                << " step " << step << " re-sent " << report.sent_parcels
+                << " parcels, not fewer than a full restart (" << full_sent << ")\n";
+      save_artifact(loaded, run);
+      return false;
+    }
+    if (committed == 0 && report.sent_parcels != full_sent) {
+      std::cerr << "FAIL " << shape.to_string() << ": resume with nothing committed sent "
+                << report.sent_parcels << " parcels, expected the full " << full_sent << '\n';
+      save_artifact(loaded, run);
+      return false;
+    }
+    if (!loaded.exchange_complete()) {
+      std::cerr << "FAIL " << shape.to_string() << ": journal incomplete after resume in run "
+                << run << '\n';
+      save_artifact(loaded, run);
+      return false;
+    }
+  }
+  std::cout << "  kill+resume " << shape.to_string() << ": " << runs << " runs — " << kills
+            << " kills across " << active.size() << " schedule steps, "
+            << (kills > 0 ? resumed_sent / kills : 0) << " avg parcels re-sent vs " << full_sent
+            << " full restart, " << duplicates << " duplicates dropped, " << torn
+            << " torn tails recovered, 0 lost parcels\n";
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -200,14 +376,19 @@ int main(int argc, char** argv) {
     const CliFlags flags = CliFlags::parse(
         argc, argv,
         {"max-nodes", "max-dims", "flit-level", "layout", "static-nodes", "faults", "chaos",
-         "seed", "trace"});
+         "seed", "trace", "kill-rate"});
     const std::int64_t max_nodes = flags.get_int("max-nodes", 800);
     const int max_dims = static_cast<int>(flags.get_int("max-dims", 4));
     const bool flit_level = flags.get_bool("flit-level", false);
     const bool layout = flags.get_bool("layout", false);
     const int faults_k = static_cast<int>(flags.get_int("faults", 0));
     const int chaos_runs = static_cast<int>(flags.get_int("chaos", 0));
+    const int kill_rate = static_cast<int>(flags.get_int("kill-rate", 0));
     const std::uint64_t base_seed = static_cast<std::uint64_t>(flags.get_int("seed", 0));
+    if (kill_rate < 0 || kill_rate > 100) {
+      std::cerr << "error: --kill-rate must be a percentage in [0, 100]\n";
+      return 1;
+    }
     const std::string trace_path = flags.get_string("trace", "");
     std::optional<Recorder> recorder;
     if (!trace_path.empty()) recorder.emplace();
@@ -230,6 +411,7 @@ int main(int argc, char** argv) {
               << (flit_level ? ", flit-level on" : "");
     if (faults_k > 0) std::cout << ", fault sweep k=" << faults_k;
     if (chaos_runs > 0) std::cout << ", chaos runs=" << chaos_runs;
+    if (kill_rate > 0) std::cout << ", kill rate=" << kill_rate << "%";
     if (faults_k > 0 || chaos_runs > 0) std::cout << ", seed=" << base_seed;
     std::cout << "\n";
 
@@ -291,6 +473,21 @@ int main(int argc, char** argv) {
       std::cout << "chaos sweep: " << chaos_runs << " runs/shape, seed=" << base_seed << "\n";
       for (const auto& extents : std::vector<std::vector<std::int32_t>>{{4, 4}, {8, 4, 4}}) {
         if (!chaos_sweep(TorusShape(extents), chaos_runs, base_seed, obs)) return 1;
+      }
+    }
+
+    // Kill-and-resume sweep on the same reference shapes: seeded
+    // process deaths at every schedule step, journal round-trips (with
+    // torn tails), delta resumes checked against the oracle. Runs per
+    // shape follow --chaos (default 120 when only --kill-rate given).
+    if (kill_rate > 0) {
+      const int kill_runs = chaos_runs > 0 ? chaos_runs : 120;
+      std::cout << "kill+resume sweep: " << kill_runs << " runs/shape, kill rate=" << kill_rate
+                << "%, seed=" << base_seed << "\n";
+      for (const auto& extents : std::vector<std::vector<std::int32_t>>{{4, 4}, {8, 4, 4}}) {
+        if (!kill_resume_sweep(TorusShape(extents), kill_runs, kill_rate, base_seed, obs)) {
+          return 1;
+        }
       }
     }
 
