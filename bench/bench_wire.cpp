@@ -1,0 +1,327 @@
+// Wire-path evaluation: what the pooled zero-copy frame layer buys
+// over the per-parcel sealed encoding, measured where it matters —
+// heap allocations, bytes copied, and wall-clock per parcel.
+//
+// Every heap allocation in the process is counted by overriding the
+// global operator new/delete, so the numbers are ground truth, not
+// instrumentation estimates. For each shape (the paper's 8x8 and the
+// 3D 8x4x4) five executors run over identical canonical payloads:
+//
+//   plain             exchange_payloads (struct moves, no wire)
+//   sealed_per_parcel exchange_payloads_sealed, WirePath::kPerParcel
+//   sealed_pooled     exchange_payloads_sealed, WirePath::kPooled
+//   pooled_paper      exchange_payloads_pooled, §3.3 layout
+//   pooled_naive      exchange_payloads_pooled, naive destination order
+//
+// The bench is self-checking and exits non-zero on regression:
+//   * the sealed_pooled wire must allocate >= 2x less than the
+//     sealed_per_parcel wire, measured above the plain baseline (the
+//     pooled wire's steady-state cost is zero: frames recycle);
+//   * sealed_pooled must copy fewer payload bytes than per-parcel;
+//   * pooled_paper must stay under a fixed allocs-per-step budget
+//     (kAllocBudgetPerStep) once the arena is warm — the CI bench
+//     smoke job fails when the zero-copy invariant erodes;
+//   * pooled_paper must be fully contiguous in 2D and within the
+//     2^(n-2) run bound in 3D.
+//
+// --out=FILE (default BENCH_wire.json) receives the results as JSON.
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <new>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/payload_exchange.hpp"
+#include "core/wire_buffer.hpp"
+#include "obs/chrome_trace.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+// --- Global allocation counting ----------------------------------------
+
+namespace {
+std::atomic<std::int64_t> g_allocs{0};
+std::atomic<std::int64_t> g_alloc_bytes{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(static_cast<std::int64_t>(size), std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc{};
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace torex;
+
+/// Allocations-per-step ceiling for the warm pooled paper path. The
+/// steady-state wire itself allocates nothing (frames recycle through
+/// the arena); what remains is buffer growth and the phase-boundary
+/// stable_sort scratch, both O(N) per phase. The budget is deliberately
+/// a hard constant: if a change re-introduces per-message allocation,
+/// allocs-per-step jumps by ~the message count and this trips.
+constexpr double kAllocBudgetPerStep = 512.0;
+
+ParcelBuffers<std::int64_t> canonical_parcels(Rank n) {
+  ParcelBuffers<std::int64_t> buffers(static_cast<std::size_t>(n));
+  for (Rank p = 0; p < n; ++p) {
+    for (Rank q = 0; q < n; ++q) {
+      buffers[static_cast<std::size_t>(p)].push_back(
+          {Block{p, q}, static_cast<std::int64_t>(p) * n + q});
+    }
+  }
+  return buffers;
+}
+
+struct PathResult {
+  std::string name;
+  double ms = 0;                  ///< wall-clock per exchange
+  double ns_per_parcel = 0;
+  double allocs_per_step = 0;
+  double alloc_kib_per_step = 0;
+  WirePoolStats stats;            ///< wire traffic delta (zero for plain)
+  bool has_stats = false;
+};
+
+/// Runs `fn` (one full exchange over fresh canonical payloads) reps
+/// times, counting only the exchange itself — seed construction sits
+/// outside the measured window. The caller warms the path (and
+/// snapshots arena stats) before calling.
+template <typename Fn>
+PathResult measure(const std::string& name, const SuhShinAape& algo, int reps, Fn&& fn) {
+  const Rank N = algo.shape().num_nodes();
+  std::int64_t allocs = 0;
+  std::int64_t alloc_bytes = 0;
+  double total_ms = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    auto parcels = canonical_parcels(N);
+    const std::int64_t a0 = g_allocs.load(std::memory_order_relaxed);
+    const std::int64_t b0 = g_alloc_bytes.load(std::memory_order_relaxed);
+    const auto start = std::chrono::steady_clock::now();
+    fn(std::move(parcels));
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    allocs += g_allocs.load(std::memory_order_relaxed) - a0;
+    alloc_bytes += g_alloc_bytes.load(std::memory_order_relaxed) - b0;
+    total_ms += std::chrono::duration<double, std::milli>(elapsed).count();
+  }
+  const double steps = static_cast<double>(algo.total_steps()) * reps;
+  const double parcels_moved =
+      static_cast<double>(N) * static_cast<double>(N) * reps;  // lower bound: one hop each
+  PathResult r;
+  r.name = name;
+  r.ms = total_ms / reps;
+  r.ns_per_parcel = total_ms * 1e6 / parcels_moved;
+  r.allocs_per_step = static_cast<double>(allocs) / steps;
+  r.alloc_kib_per_step = static_cast<double>(alloc_bytes) / steps / 1024.0;
+  return r;
+}
+
+void append_path_json(std::ostringstream& out, const PathResult& r, bool last) {
+  out << "        \"" << r.name << "\": {\n"
+      << "          \"ms_per_exchange\": " << r.ms << ",\n"
+      << "          \"ns_per_parcel\": " << r.ns_per_parcel << ",\n"
+      << "          \"allocs_per_step\": " << r.allocs_per_step << ",\n"
+      << "          \"alloc_kib_per_step\": " << r.alloc_kib_per_step;
+  if (r.has_stats) {
+    out << ",\n"
+        << "          \"messages\": " << r.stats.messages << ",\n"
+        << "          \"parcels\": " << r.stats.parcels << ",\n"
+        << "          \"bytes_encoded\": " << r.stats.bytes_encoded << ",\n"
+        << "          \"bytes_copied\": " << r.stats.bytes_copied << ",\n"
+        << "          \"pool_hits\": " << r.stats.pool_hits << ",\n"
+        << "          \"pool_misses\": " << r.stats.pool_misses << ",\n"
+        << "          \"contiguous_sends\": " << r.stats.contiguous_sends << ",\n"
+        << "          \"total_sends\": " << r.stats.total_sends << ",\n"
+        << "          \"gathered_parcels\": " << r.stats.gathered_parcels << ",\n"
+        << "          \"max_runs_per_send\": " << r.stats.max_runs_per_send;
+  }
+  out << "\n        }" << (last ? "\n" : ",\n");
+}
+
+int g_failures = 0;
+
+void check(bool ok, const std::string& what) {
+  if (ok) return;
+  ++g_failures;
+  std::cerr << "SELF-CHECK FAILED: " << what << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliFlags flags = CliFlags::parse(argc, argv, {"out", "reps"});
+  const std::string out_path = flags.get_string("out", "BENCH_wire.json");
+  const int reps = static_cast<int>(flags.get_int("reps", 10, 1, 10000));
+
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"wire\",\n  \"alloc_budget_per_step\": " << kAllocBudgetPerStep
+       << ",\n  \"reps\": " << reps << ",\n  \"shapes\": [\n";
+
+  const std::vector<std::vector<std::int32_t>> shapes{{8, 8}, {8, 4, 4}};
+  for (std::size_t si = 0; si < shapes.size(); ++si) {
+    const TorusShape shape(shapes[si]);
+    const SuhShinAape algo(shape);
+    const Rank N = shape.num_nodes();
+    std::cout << "=== " << shape.to_string() << " (" << N << " nodes, "
+              << algo.total_steps() << " steps, " << reps << " reps) ===\n\n";
+
+    std::vector<PathResult> results;
+
+    // Each path: one untimed warmup exchange (pool converges, caches
+    // warm), then snapshot arena stats, then the measured reps — so
+    // both the allocation counts and the traffic stats cover exactly
+    // the steady-state reps.
+    const auto run_path = [&](const std::string& name, WireArena* arena, auto&& exchange) {
+      exchange(canonical_parcels(N));  // warmup
+      const WirePoolStats before = arena != nullptr ? arena->stats() : WirePoolStats{};
+      PathResult r = measure(name, algo, reps, exchange);
+      if (arena != nullptr) {
+        r.stats = wire_stats_delta(arena->stats(), before);
+        r.has_stats = true;
+      }
+      results.push_back(r);
+    };
+
+    run_path("plain", nullptr, [&](ParcelBuffers<std::int64_t> parcels) {
+      exchange_payloads(algo, std::move(parcels));
+    });
+
+    {
+      WireArena arena;
+      IntegrityOptions options;
+      options.wire_path = WirePath::kPerParcel;
+      options.arena = &arena;
+      run_path("sealed_per_parcel", &arena, [&](ParcelBuffers<std::int64_t> parcels) {
+        exchange_payloads_sealed(algo, std::move(parcels), {}, options);
+      });
+    }
+
+    {
+      WireArena arena;
+      IntegrityOptions options;
+      options.wire_path = WirePath::kPooled;
+      options.arena = &arena;
+      run_path("sealed_pooled", &arena, [&](ParcelBuffers<std::int64_t> parcels) {
+        exchange_payloads_sealed(algo, std::move(parcels), {}, options);
+      });
+    }
+
+    {
+      WireArena arena;
+      WireExchangeOptions options;
+      options.layout = LayoutPolicy::kPaper;
+      options.arena = &arena;
+      run_path("pooled_paper", &arena, [&](ParcelBuffers<std::int64_t> parcels) {
+        exchange_payloads_pooled(algo, std::move(parcels), options);
+      });
+    }
+
+    {
+      WireArena arena;
+      WireExchangeOptions options;
+      options.layout = LayoutPolicy::kNaiveDestinationOrder;
+      options.arena = &arena;
+      run_path("pooled_naive", &arena, [&](ParcelBuffers<std::int64_t> parcels) {
+        exchange_payloads_pooled(algo, std::move(parcels), options);
+      });
+    }
+
+    TextTable table({"path", "ms/exch", "ns/parcel", "allocs/step", "KiB alloc/step",
+                     "bytes copied", "contig sends", "max runs"});
+    table.set_align(0, TextTable::Align::kLeft);
+    for (const PathResult& r : results) {
+      auto& row = table.start_row()
+                      .cell(r.name)
+                      .cell(r.ms, 3)
+                      .cell(r.ns_per_parcel, 1)
+                      .cell(r.allocs_per_step, 1)
+                      .cell(r.alloc_kib_per_step, 1);
+      if (r.has_stats) {
+        row.cell(r.stats.bytes_copied)
+            .cell(std::to_string(r.stats.contiguous_sends) + "/" +
+                  std::to_string(r.stats.total_sends))
+            .cell(r.stats.max_runs_per_send);
+      } else {
+        row.cell("-").cell("-").cell("-");
+      }
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+
+    const PathResult& plain = results[0];
+    const PathResult& per_parcel = results[1];
+    const PathResult& sealed_pooled = results[2];
+    const PathResult& pooled_paper = results[3];
+    const PathResult& pooled_naive = results[4];
+    const std::string tag = " (" + shape.to_string() + ")";
+
+    // Wire-attributable allocations: the plain path (no wire at all)
+    // is the baseline; what a sealed path allocates beyond it is what
+    // the wire layer costs. The pooled wire must cost >= 2x less than
+    // the per-parcel wire — in steady state it costs zero (every frame
+    // is recycled), so this holds with a wide margin.
+    const double per_parcel_wire = per_parcel.allocs_per_step - plain.allocs_per_step;
+    const double pooled_wire = sealed_pooled.allocs_per_step - plain.allocs_per_step;
+    check(per_parcel_wire > 0,
+          "per-parcel wire must allocate above the plain baseline" + tag);
+    check(pooled_wire * 2.0 <= per_parcel_wire,
+          "pooled wire must allocate >= 2x less than per-parcel wire" + tag);
+    check(sealed_pooled.stats.bytes_copied < per_parcel.stats.bytes_copied,
+          "pooled sealed path must copy fewer bytes than per-parcel" + tag);
+    check(pooled_paper.allocs_per_step <= kAllocBudgetPerStep,
+          "pooled paper path exceeded the alloc budget" + tag);
+    check(pooled_paper.stats.pool_misses <= pooled_paper.stats.pool_hits,
+          "warm arena should serve most frames from the pool" + tag);
+    if (shape.num_dims() == 2) {
+      check(pooled_paper.stats.fully_contiguous(),
+            "paper layout must be fully contiguous in 2D" + tag);
+    } else {
+      check(pooled_paper.stats.max_runs_per_send <= 2,
+            "paper layout must stay within 2 runs per send in 3D" + tag);
+      check(pooled_naive.stats.gathered_parcels >= pooled_paper.stats.gathered_parcels,
+            "naive layout should gather at least as much as the paper layout" + tag);
+    }
+
+    json << "    {\n      \"shape\": \"" << shape.to_string() << "\",\n      \"nodes\": " << N
+         << ",\n      \"steps\": " << algo.total_steps() << ",\n      \"paths\": {\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      append_path_json(json, results[i], i + 1 == results.size());
+    }
+    json << "      }\n    }" << (si + 1 == shapes.size() ? "\n" : ",\n");
+  }
+
+  json << "  ],\n  \"pass\": " << (g_failures == 0 ? "true" : "false") << "\n}\n";
+
+  std::string error;
+  if (!json_well_formed(json.str(), &error)) {
+    std::cerr << "internal error: BENCH_wire.json is not well-formed: " << error << "\n";
+    return 1;
+  }
+  {
+    std::ofstream out(out_path);
+    out << json.str();
+    if (!out) {
+      std::cerr << "error: cannot write " << out_path << "\n";
+      return 1;
+    }
+  }
+  std::cout << "wrote " << out_path << "\n";
+  if (g_failures > 0) {
+    std::cerr << g_failures << " self-check(s) failed\n";
+    return 1;
+  }
+  std::cout << "all self-checks passed\n";
+  return 0;
+}

@@ -8,16 +8,17 @@
 
 namespace torex {
 
-namespace {
+namespace layout {
 
 /// Directed ring distance (in subtorus hops) from `node`'s submesh to
 /// the block target's submesh along `dim`, in direction `sign`.
 std::int64_t scatter_key(const TorusShape& shape, const Coord& node_coord, const Block& b,
                          const Direction& dir) {
-  const Coord dest = shape.coord_of(b.dest);
   const std::int64_t ring = shape.extent(dir.dim) / 4;
   const std::int64_t from = node_coord[static_cast<std::size_t>(dir.dim)] / 4;
-  const std::int64_t to = dest[static_cast<std::size_t>(dir.dim)] / 4;
+  // coord_along avoids materializing the full destination coordinate;
+  // this key runs inside sort comparators, O(N log N) times per pass.
+  const std::int64_t to = shape.coord_along(b.dest, dir.dim) / 4;
   const std::int64_t ahead = floor_mod(to - from, ring);
   return dir.sign == Sign::kPositive ? ahead : floor_mod(-(to - from), ring);
 }
@@ -51,7 +52,11 @@ std::uint32_t gray_rank(std::uint32_t word) {
   return binary;
 }
 
-}  // namespace
+}  // namespace layout
+
+using layout::difference_vector;
+using layout::gray_rank;
+using layout::scatter_key;
 
 LayoutStats run_layout_simulation(const SuhShinAape& algo, LayoutPolicy policy) {
   const TorusShape& shape = algo.shape();

@@ -59,6 +59,32 @@ struct LayoutStats {
   bool fully_contiguous() const { return contiguous_sends == total_sends; }
 };
 
+// --- §3.3 layout keys --------------------------------------------------
+//
+// Shared by the block-level layout simulator below and the pooled
+// payload executor (core/payload_exchange.hpp), so both order their
+// buffers identically and report comparable run statistics.
+namespace layout {
+
+/// Scatter-phase key: directed ring distance (in subtorus hops) from
+/// `node_coord`'s submesh to the block target's submesh along the
+/// phase dimension, in the node's transmit direction. Sorting
+/// ascending makes every step's send set the tail of the buffer.
+std::int64_t scatter_key(const TorusShape& shape, const Coord& node_coord, const Block& b,
+                         const Direction& dir);
+
+/// Difference vector of a block at `node` for the quarter/pair phases:
+/// bit for step s set iff the block still differs from the holder in
+/// the dimension exchanged at step s (step 1 = most significant bit).
+std::uint32_t difference_vector(const SuhShinAape& algo, Rank node, int phase, const Block& b);
+
+/// Rank of `word` in the binary-reflected Gray sequence (inverse Gray
+/// code). Ordering by gray_rank(difference_vector(...)) is the n-D
+/// generalization of the paper's B0, B1, B3, B2 layout.
+std::uint32_t gray_rank(std::uint32_t word);
+
+}  // namespace layout
+
 /// Which layout key the per-phase rearrangement uses.
 enum class LayoutPolicy {
   /// The paper's §3.3 ordering (distance-sorted scatter key, Gray-coded

@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "core/wire_buffer.hpp"
 #include "topology/torus.hpp"
 
 namespace torex {
@@ -103,6 +104,14 @@ struct IntegrityOptions {
   int max_retransmits = 3;
   /// Fault tick the first schedule step transmits at.
   std::int64_t base_tick = 0;
+  /// Wire encoding: pooled batched frames (default) or the original
+  /// per-parcel records. Both detect every corruption; they differ in
+  /// allocation and copy behavior (see core/wire_buffer.hpp).
+  WirePath wire_path = WirePath::kPooled;
+  /// Optional external frame pool. When null the exchange uses a
+  /// private arena; supplying one lets frames (and the arena's pool /
+  /// traffic statistics) survive across exchanges.
+  WireArena* arena = nullptr;
 };
 
 /// One detected integrity violation (a seal that failed verification).

@@ -19,7 +19,9 @@
 
 #include "core/aape.hpp"
 #include "core/block.hpp"
+#include "core/data_array.hpp"
 #include "core/integrity.hpp"
+#include "core/wire_buffer.hpp"
 #include "obs/recorder.hpp"
 #include "util/assert.hpp"
 #include "util/crc32.hpp"
@@ -233,6 +235,8 @@ std::vector<std::byte> encode_sealed_message(const std::vector<Parcel<T>>& parce
                                              int step, Rank src, Rank dst) {
   static_assert(std::is_trivially_copyable_v<T>,
                 "sealed exchange requires trivially copyable payloads");
+  TOREX_REQUIRE(phase >= 0 && step >= 0 && src >= 0 && dst >= 0,
+                "sealed message metadata must be non-negative");
   std::vector<std::byte> wire;
   wire.reserve(40 + parcels.size() * (28 + sizeof(T)));
   wire_put_u32(wire, detail::kSealedMagic);
@@ -272,6 +276,7 @@ bool decode_sealed_message(const std::vector<std::byte>& wire, int phase, int st
     out.clear();
     return false;
   };
+  if (phase < 0 || step < 0 || src < 0 || dst < 0) return fail("negative message metadata");
   std::size_t offset = 0;
   std::uint32_t magic = 0, wire_phase = 0, wire_step = 0, header_crc = 0;
   std::uint64_t wire_src = 0, wire_dst = 0, count = 0;
@@ -292,6 +297,16 @@ bool decode_sealed_message(const std::vector<std::byte>& wire, int phase, int st
       wire_dst != static_cast<std::uint64_t>(static_cast<std::int64_t>(dst))) {
     return fail("message sealed for a different channel");
   }
+  // Never trust the wire's count: bound it by the bytes actually
+  // present (each parcel record is at least its 28-byte header plus
+  // the payload) before the parse loop, and size `out` only after the
+  // bound holds, so a forged count cannot drive the loop or the
+  // allocator beyond the message.
+  constexpr std::uint64_t kParcelWireBytes = 28 + sizeof(T);
+  if (count > (wire.size() - offset) / kParcelWireBytes) {
+    return fail("parcel count exceeds message size");
+  }
+  out.reserve(count);
   const std::uint64_t N = static_cast<std::uint64_t>(num_nodes);
   for (std::uint64_t i = 0; i < count; ++i) {
     std::uint64_t origin = 0, dest = 0, payload_len = 0;
@@ -318,6 +333,212 @@ bool decode_sealed_message(const std::vector<std::byte>& wire, int phase, int st
     out.push_back(std::move(parcel));
   }
   if (offset != wire.size()) return fail("trailing bytes after last parcel");
+  return true;
+}
+
+// --- Batched wire frames (the pooled zero-copy encoding) ---------------
+//
+// The per-parcel format above seals each parcel separately: flexible,
+// but every message costs one allocation plus a resize+memcpy per
+// parcel. The frame format instead ships one 48-byte header followed
+// by the raw contiguous run of Parcel<T> object representations and a
+// trailing CRC over the whole frame — so a §3.3-contiguous send is a
+// single memcpy in, and verification + integration read the run in
+// place through a non-owning view. Both CRCs (header, frame) must
+// match and the byte count must be exact, so any bit flip or
+// truncation anywhere in the frame is detected, same as the
+// per-parcel seals.
+//
+// Frame layout (little-endian):
+//   [ 0) magic u32  "TOX2"
+//   [ 4) phase u32        [ 8) step u32
+//   [12) src u64          [20) dst u64
+//   [28) count u64        [36) parcel_size u64
+//   [44) header crc u32 over bytes [0, 44)
+//   [48) count * parcel_size raw parcel bytes
+//   [..) frame crc u32 over bytes [0, 48 + run)
+
+namespace detail {
+
+inline constexpr std::uint32_t kFrameMagic = 0x544F5832u;  // "TOX2"
+inline constexpr std::size_t kFrameHeaderBytes = 48;
+inline constexpr std::size_t kFrameTrailerBytes = 4;
+
+/// Starts a frame: clears `frame` and reserves the header slot (the
+/// header is patched by frame_finish once the parcel count is known,
+/// so gather loops can append runs without a counting pre-pass).
+inline void frame_begin(std::vector<std::byte>& frame, std::size_t parcel_bytes_hint = 0) {
+  frame.clear();
+  frame.reserve(kFrameHeaderBytes + parcel_bytes_hint + kFrameTrailerBytes);
+  frame.resize(kFrameHeaderBytes);
+}
+
+/// Appends one contiguous run of parcels to a begun frame (a single
+/// memcpy of the run's object representation). Returns the run's size
+/// in bytes.
+template <typename T>
+std::size_t frame_append_run(std::vector<std::byte>& frame, const Parcel<T>* run,
+                             std::size_t count) {
+  static_assert(std::is_trivially_copyable_v<Parcel<T>>,
+                "framed exchange requires trivially copyable parcels");
+  const std::size_t bytes = count * sizeof(Parcel<T>);
+  if (bytes == 0) return 0;
+  const std::size_t at = frame.size();
+  frame.resize(at + bytes);
+  std::memcpy(frame.data() + at, run, bytes);
+  return bytes;
+}
+
+/// Patches the header and appends the trailing frame CRC. `count` must
+/// equal the parcels appended since frame_begin.
+template <typename T>
+void frame_finish(std::vector<std::byte>& frame, std::size_t count, int phase, int step,
+                  Rank src, Rank dst) {
+  TOREX_REQUIRE(phase >= 0 && step >= 0 && src >= 0 && dst >= 0,
+                "sealed message metadata must be non-negative");
+  TOREX_CHECK(frame.size() == kFrameHeaderBytes + count * sizeof(Parcel<T>),
+              "frame run bytes disagree with parcel count");
+  std::byte* h = frame.data();
+  wire_write_u32(h + 0, kFrameMagic);
+  wire_write_u32(h + 4, static_cast<std::uint32_t>(phase));
+  wire_write_u32(h + 8, static_cast<std::uint32_t>(step));
+  wire_write_u64(h + 12, static_cast<std::uint64_t>(static_cast<std::int64_t>(src)));
+  wire_write_u64(h + 20, static_cast<std::uint64_t>(static_cast<std::int64_t>(dst)));
+  wire_write_u64(h + 28, static_cast<std::uint64_t>(count));
+  wire_write_u64(h + 36, static_cast<std::uint64_t>(sizeof(Parcel<T>)));
+  wire_write_u32(h + 44, crc32(frame.data(), 44));
+  const std::uint32_t frame_crc = crc32(frame.data(), frame.size());
+  const std::size_t at = frame.size();
+  frame.resize(at + kFrameTrailerBytes);
+  wire_write_u32(frame.data() + at, frame_crc);
+}
+
+/// Adds a wire-stats delta to the recorder's metric counters.
+inline void publish_wire_metrics(Recorder* obs, const WirePoolStats& d) {
+  if (obs == nullptr) return;
+  MetricsRegistry& m = obs->metrics();
+  m.counter("wire.messages").add(d.messages);
+  m.counter("wire.parcels").add(d.parcels);
+  m.counter("wire.pool_hits").add(d.pool_hits);
+  m.counter("wire.pool_misses").add(d.pool_misses);
+  m.counter("wire.bytes_encoded").add(d.bytes_encoded);
+  m.counter("wire.bytes_copied").add(d.bytes_copied);
+  m.counter("wire.contiguous_sends").add(d.contiguous_sends);
+  m.counter("wire.gathered_parcels").add(d.gathered_parcels);
+}
+
+}  // namespace detail
+
+/// Encodes one message (a single contiguous run) as a sealed frame.
+template <typename T>
+void encode_sealed_frame(const Parcel<T>* run, std::size_t count, int phase, int step, Rank src,
+                         Rank dst, std::vector<std::byte>& frame) {
+  detail::frame_begin(frame, count * sizeof(Parcel<T>));
+  detail::frame_append_run(frame, run, count);
+  detail::frame_finish<T>(frame, count, phase, step, src, dst);
+}
+
+/// Non-owning typed view over a verified frame's parcel run. Reads go
+/// through memcpy so the run may live at any alignment inside the
+/// frame bytes.
+template <typename T>
+class SealedFrameView {
+ public:
+  SealedFrameView() = default;
+  SealedFrameView(const std::byte* run, std::size_t count) : run_(run), count_(count) {}
+
+  std::size_t count() const { return count_; }
+  const std::byte* run_bytes() const { return run_; }
+  std::size_t run_size() const { return count_ * sizeof(Parcel<T>); }
+
+  Block identity(std::size_t i) const {
+    Block b;
+    std::memcpy(&b, run_ + i * sizeof(Parcel<T>), sizeof(Block));
+    return b;
+  }
+
+  Parcel<T> parcel(std::size_t i) const {
+    Parcel<T> p;
+    std::memcpy(&p, run_ + i * sizeof(Parcel<T>), sizeof(Parcel<T>));
+    return p;
+  }
+
+  /// Appends the whole run to `out`: one grow plus one memcpy — the
+  /// zero-copy integrate (no per-parcel materialization).
+  void append_to(std::vector<Parcel<T>>& out) const {
+    const std::size_t old = out.size();
+    out.resize(old + count_);
+    std::memcpy(out.data() + old, run_, run_size());
+  }
+
+ private:
+  const std::byte* run_ = nullptr;
+  std::size_t count_ = 0;
+};
+
+/// Verifies a sealed frame in place. On success `out` views the parcel
+/// run inside `wire` (which must outlive the view); on failure returns
+/// false with `reason` filled when non-null. Detects exactly the same
+/// corruption classes as decode_sealed_message: truncation, bit flips
+/// anywhere, wrong (phase, step) or channel, forged counts, and
+/// identities out of range.
+template <typename T>
+bool decode_sealed_frame(WireView wire, int phase, int step, Rank src, Rank dst, Rank num_nodes,
+                         SealedFrameView<T>& out, std::string* reason = nullptr) {
+  static_assert(std::is_trivially_copyable_v<Parcel<T>>,
+                "framed exchange requires trivially copyable parcels");
+  out = SealedFrameView<T>();
+  auto fail = [&](const char* what) {
+    if (reason != nullptr) *reason = what;
+    return false;
+  };
+  if (phase < 0 || step < 0 || src < 0 || dst < 0) return fail("negative message metadata");
+  if (wire.size() < detail::kFrameHeaderBytes + detail::kFrameTrailerBytes) {
+    return fail("truncated message header");
+  }
+  std::size_t offset = 0;
+  std::uint32_t magic = 0, wire_phase = 0, wire_step = 0, header_crc = 0;
+  std::uint64_t wire_src = 0, wire_dst = 0, count = 0, parcel_size = 0;
+  wire_get_u32(wire, offset, magic);
+  wire_get_u32(wire, offset, wire_phase);
+  wire_get_u32(wire, offset, wire_step);
+  wire_get_u64(wire, offset, wire_src);
+  wire_get_u64(wire, offset, wire_dst);
+  wire_get_u64(wire, offset, count);
+  wire_get_u64(wire, offset, parcel_size);
+  const std::size_t header_len = offset;
+  wire_get_u32(wire, offset, header_crc);
+  if (header_crc != crc32(wire.data(), header_len)) return fail("header checksum mismatch");
+  if (magic != detail::kFrameMagic) return fail("bad magic");
+  if (wire_phase != static_cast<std::uint32_t>(phase) ||
+      wire_step != static_cast<std::uint32_t>(step)) {
+    return fail("message sealed for a different step");
+  }
+  if (wire_src != static_cast<std::uint64_t>(static_cast<std::int64_t>(src)) ||
+      wire_dst != static_cast<std::uint64_t>(static_cast<std::int64_t>(dst))) {
+    return fail("message sealed for a different channel");
+  }
+  if (parcel_size != sizeof(Parcel<T>)) return fail("parcel record size mismatch");
+  // Bound the wire's count by the bytes present before trusting it.
+  const std::size_t avail =
+      wire.size() - detail::kFrameHeaderBytes - detail::kFrameTrailerBytes;
+  if (count > avail / sizeof(Parcel<T>)) return fail("parcel count exceeds message size");
+  if (count * sizeof(Parcel<T>) != avail) return fail("frame size mismatch");
+  const std::size_t run_end = detail::kFrameHeaderBytes + avail;
+  std::uint32_t frame_crc = 0;
+  std::size_t trailer_at = run_end;
+  wire_get_u32(wire, trailer_at, frame_crc);
+  if (frame_crc != crc32(wire.data(), run_end)) return fail("frame checksum mismatch");
+  SealedFrameView<T> view(wire.data() + detail::kFrameHeaderBytes,
+                          static_cast<std::size_t>(count));
+  const Rank N = num_nodes;
+  for (std::size_t i = 0; i < view.count(); ++i) {
+    const Block b = view.identity(i);
+    if (b.origin < 0 || b.origin >= N || b.dest < 0 || b.dest >= N) {
+      return fail("parcel identity out of range");
+    }
+  }
+  out = view;
   return true;
 }
 
@@ -352,8 +573,16 @@ ParcelBuffers<T> exchange_payloads_sealed(const SuhShinAape& algo, ParcelBuffers
 
   IntegrityReport report;
   std::int64_t tick = options.base_tick;
+  WireArena local_arena;
+  WireArena& arena = options.arena != nullptr ? *options.arena : local_arena;
+  const WirePoolStats stats_before = arena.stats();
+  const bool pooled = options.wire_path == WirePath::kPooled;
+  const auto publish_wire = [&] {
+    detail::publish_wire_metrics(obs, wire_stats_delta(arena.stats(), stats_before));
+  };
   ParcelBuffers<T> inbox(static_cast<std::size_t>(N));
-  std::vector<Parcel<T>> received;
+  std::vector<Parcel<T>> received;  // per-parcel path scratch
+  PooledFrame frame;                // pooled path scratch, rebound per attempt
   for (int phase = 1; phase <= algo.num_phases(); ++phase) {
     SpanGuard phase_span(obs, "phase", -1, phase);
     const int hops = algo.hops_per_step(phase);
@@ -368,13 +597,20 @@ ParcelBuffers<T> exchange_payloads_sealed(const SuhShinAape& algo, ParcelBuffers
           return !algo.should_send(p, phase, step, x.block);
         });
         if (split == buf.end()) continue;
-        std::vector<Parcel<T>> outgoing(std::make_move_iterator(split),
-                                        std::make_move_iterator(buf.end()));
-        buf.erase(split, buf.end());
+        const std::size_t send_count = static_cast<std::size_t>(buf.end() - split);
+        const std::size_t run_bytes = send_count * sizeof(Parcel<T>);
         const Rank q = algo.partner(p, phase, step);
         const Direction dir = algo.direction(p, phase, step);
+        // The pooled path encodes straight from the buffer tail (the
+        // partition made it one contiguous run) and erases it only
+        // after delivery; the per-parcel path materializes the
+        // outgoing message as before.
+        std::vector<Parcel<T>> outgoing;
+        if (!pooled) {
+          outgoing.assign(std::make_move_iterator(split), std::make_move_iterator(buf.end()));
+          buf.erase(split, buf.end());
+        }
         for (int attempt = 0;; ++attempt) {
-          auto wire = encode_sealed_message(outgoing, phase, step, p, q);
           TransferContext ctx;
           ctx.phase = phase;
           ctx.step = step;
@@ -384,14 +620,45 @@ ParcelBuffers<T> exchange_payloads_sealed(const SuhShinAape& algo, ParcelBuffers
           ctx.hops = hops;
           ctx.tick = tick + attempt;
           ctx.attempt = attempt;
-          if (tamperer) tamperer(ctx, wire);
           std::string reason;
-          if (decode_sealed_message<T>(wire, phase, step, p, q, N, received, &reason)) {
-            auto& in = inbox[static_cast<std::size_t>(q)];
-            in.insert(in.end(), std::make_move_iterator(received.begin()),
-                      std::make_move_iterator(received.end()));
+          bool delivered = false;
+          std::int64_t delivered_parcels = 0;
+          if (pooled) {
+            frame.bind(arena, detail::kFrameHeaderBytes + run_bytes + detail::kFrameTrailerBytes);
+            encode_sealed_frame(&*split, send_count, phase, step, p, q, frame.bytes());
+            arena.stats().note_message(static_cast<std::int64_t>(send_count), 1);
+            arena.stats().bytes_encoded += static_cast<std::int64_t>(frame.bytes().size());
+            arena.stats().bytes_copied += static_cast<std::int64_t>(run_bytes);
+            if (tamperer) tamperer(ctx, frame.bytes());
+            SealedFrameView<T> view;
+            if (decode_sealed_frame<T>(frame.view(), phase, step, p, q, N, view, &reason)) {
+              view.append_to(inbox[static_cast<std::size_t>(q)]);
+              arena.stats().bytes_copied += static_cast<std::int64_t>(view.run_size());
+              delivered = true;
+              delivered_parcels = static_cast<std::int64_t>(view.count());
+            }
+          } else {
+            auto wire = encode_sealed_message(outgoing, phase, step, p, q);
+            arena.stats().note_message(static_cast<std::int64_t>(outgoing.size()), 1);
+            arena.stats().bytes_encoded += static_cast<std::int64_t>(wire.size());
+            // Encode copies each payload; decode materializes every
+            // parcel; the inbox insert copies them again.
+            arena.stats().bytes_copied += static_cast<std::int64_t>(outgoing.size() * sizeof(T));
+            if (tamperer) tamperer(ctx, wire);
+            if (decode_sealed_message<T>(wire, phase, step, p, q, N, received, &reason)) {
+              auto& in = inbox[static_cast<std::size_t>(q)];
+              in.insert(in.end(), std::make_move_iterator(received.begin()),
+                        std::make_move_iterator(received.end()));
+              arena.stats().bytes_copied +=
+                  static_cast<std::int64_t>(2 * received.size() * sizeof(Parcel<T>));
+              delivered = true;
+              delivered_parcels = static_cast<std::int64_t>(received.size());
+            }
+          }
+          if (delivered) {
+            if (pooled) buf.erase(split, buf.end());
             ++report.messages;
-            report.parcels += static_cast<std::int64_t>(received.size());
+            report.parcels += delivered_parcels;
             report.retransmits += attempt;
             if (obs != nullptr && attempt > 0) {
               obs->instant("retransmit_ok", q, phase, step, attempt);
@@ -420,6 +687,7 @@ ParcelBuffers<T> exchange_payloads_sealed(const SuhShinAape& algo, ParcelBuffers
             report.final_tick = ctx.tick;
             if (obs != nullptr) obs->instant("integrity_fatal", q, phase, step, attempt);
             flush_metrics(report);
+            publish_wire();
             if (report_out != nullptr) *report_out = report;
             throw IntegrityError("integrity failure: " + violation.describe() +
                                      " (retransmit budget exhausted)",
@@ -441,7 +709,180 @@ ParcelBuffers<T> exchange_payloads_sealed(const SuhShinAape& algo, ParcelBuffers
   report.final_tick = tick;
   detail::check_parcel_postcondition(N, buffers);
   flush_metrics(report);
+  publish_wire();
   if (report_out != nullptr) *report_out = report;
+  return buffers;
+}
+
+// --- Pooled layout-faithful exchange -----------------------------------
+
+/// Options for exchange_payloads_pooled.
+struct WireExchangeOptions {
+  /// Buffer ordering at phase boundaries: the paper's §3.3 keys
+  /// (contiguous sends, single-memcpy frames) or the naive
+  /// destination order (fragments sends into gathered runs — the
+  /// arena's run accounting quantifies the difference).
+  LayoutPolicy layout = LayoutPolicy::kPaper;
+  /// Optional external frame pool; a private arena is used when null.
+  WireArena* arena = nullptr;
+  Recorder* obs = nullptr;
+};
+
+/// exchange_payloads over the zero-copy wire: buffers are kept in the
+/// paper's §3.3 physical order (re-sorted once per phase boundary,
+/// exactly like data_array's layout simulator), each step's send set
+/// is gathered run-by-run into a pooled frame — one memcpy per run,
+/// and under the paper layout in 2D that is one memcpy per message —
+/// and receives are verified in place and spliced into the hole the
+/// node's own send left. The arena records LayoutStats-style run
+/// accounting, so the payload path reports the same contiguity
+/// evidence as the block-level simulator. Steady state performs no
+/// heap allocation on the wire: frames recycle through the arena.
+template <typename T>
+ParcelBuffers<T> exchange_payloads_pooled(const SuhShinAape& algo, ParcelBuffers<T> buffers,
+                                          const WireExchangeOptions& options = {}) {
+  static_assert(std::is_trivially_copyable_v<Parcel<T>>,
+                "pooled exchange requires trivially copyable parcels");
+  const TorusShape& shape = algo.shape();
+  const Rank N = shape.num_nodes();
+  detail::require_canonical_parcel_seed(N, buffers);
+  Recorder* obs = options.obs;
+  if (obs != nullptr && !obs->enabled()) obs = nullptr;
+  WireArena local_arena;
+  WireArena& arena = options.arena != nullptr ? *options.arena : local_arena;
+  const WirePoolStats stats_before = arena.stats();
+  SpanGuard exchange_span(obs, "exchange");
+
+  // In-flight frames: one slot per destination, bound for the span of
+  // a step and released back to the arena at integrate time.
+  struct Pending {
+    PooledFrame frame;
+    Rank src = -1;
+    std::size_t hole = 0;
+    bool active = false;
+  };
+  std::vector<Pending> inbox(static_cast<std::size_t>(N));
+
+  // Decorate-sort-undecorate scratch, reused across nodes and phases:
+  // each layout key is computed once per parcel instead of once per
+  // comparison, and the scratch reaches steady-state capacity after
+  // the first pass — phase boundaries then allocate nothing beyond
+  // stable_sort's own temporary.
+  std::vector<std::pair<std::uint64_t, Parcel<T>>> keyed;
+
+  for (int phase = 1; phase <= algo.num_phases(); ++phase) {
+    SpanGuard phase_span(obs, "phase", -1, phase);
+    // Phase-boundary rearrangement: one pass, same accounting as the
+    // layout simulator (phase 1's initial order is counted as given).
+    if (phase > 1) {
+      ++arena.stats().rearrangement_passes;
+      arena.stats().parcels_rearranged += N;
+    }
+    for (Rank p = 0; p < N; ++p) {
+      auto& buf = buffers[static_cast<std::size_t>(p)];
+      auto sort_by = [&](auto&& key_of) {
+        keyed.clear();
+        keyed.reserve(buf.size());
+        for (const Parcel<T>& a : buf) keyed.emplace_back(key_of(a), a);
+        std::stable_sort(keyed.begin(), keyed.end(),
+                         [](const auto& x, const auto& y) { return x.first < y.first; });
+        for (std::size_t i = 0; i < buf.size(); ++i) buf[i] = keyed[i].second;
+      };
+      if (options.layout == LayoutPolicy::kNaiveDestinationOrder) {
+        std::stable_sort(buf.begin(), buf.end(), [](const Parcel<T>& a, const Parcel<T>& b) {
+          return a.block.dest < b.block.dest;
+        });
+      } else if (algo.phase_kind(phase) == PhaseKind::kScatter) {
+        if (algo.steps_in_phase(phase) == 0) continue;
+        const Direction dir = algo.direction(p, phase, 1);
+        const Coord pc = shape.coord_of(p);
+        sort_by([&](const Parcel<T>& a) {
+          return static_cast<std::uint64_t>(layout::scatter_key(shape, pc, a.block, dir));
+        });
+      } else {
+        sort_by([&](const Parcel<T>& a) {
+          return static_cast<std::uint64_t>(
+              layout::gray_rank(layout::difference_vector(algo, p, phase, a.block)));
+        });
+      }
+    }
+
+    for (int step = 1; step <= algo.steps_in_phase(phase); ++step) {
+      SpanGuard step_span(obs, "step", -1, phase, step);
+      // Send half: gather each node's send set run-by-run into a
+      // pooled frame while compacting the buffer in place. A run is
+      // flushed (one memcpy) before compaction can overwrite it.
+      for (Rank p = 0; p < N; ++p) {
+        auto& buf = buffers[static_cast<std::size_t>(p)];
+        const Rank q = algo.partner(p, phase, step);
+        Pending& out = inbox[static_cast<std::size_t>(q)];
+        std::int64_t runs = 0;
+        std::size_t count = 0;
+        std::size_t hole = buf.size();
+        std::size_t write = 0;
+        std::size_t run_start = 0;
+        bool in_run = false;
+        auto flush_run = [&](std::size_t end) {
+          if (!in_run) return;
+          detail::frame_append_run(out.frame.bytes(), buf.data() + run_start, end - run_start);
+          in_run = false;
+        };
+        for (std::size_t i = 0; i < buf.size(); ++i) {
+          if (algo.should_send(p, phase, step, buf[i].block)) {
+            if (!in_run) {
+              if (count == 0) {
+                TOREX_CHECK(!out.active, "one-port receive violation in pooled exchange");
+                out.frame.bind(arena, detail::kFrameHeaderBytes +
+                                          (buf.size() - i) * sizeof(Parcel<T>) +
+                                          detail::kFrameTrailerBytes);
+                detail::frame_begin(out.frame.bytes(),
+                                    (buf.size() - i) * sizeof(Parcel<T>));
+                hole = write;
+              }
+              ++runs;
+              in_run = true;
+              run_start = i;
+            }
+            ++count;
+          } else {
+            flush_run(i);
+            buf[write++] = buf[i];
+          }
+        }
+        flush_run(buf.size());
+        if (count == 0) continue;
+        buf.resize(write);
+        detail::frame_finish<T>(out.frame.bytes(), count, phase, step, p, q);
+        arena.stats().note_message(static_cast<std::int64_t>(count), runs);
+        arena.stats().bytes_encoded += static_cast<std::int64_t>(out.frame.bytes().size());
+        arena.stats().bytes_copied += static_cast<std::int64_t>(count * sizeof(Parcel<T>));
+        out.src = p;
+        out.hole = hole;
+        out.active = true;
+      }
+      // Integrate half: verify each frame in place and splice its run
+      // into the hole the node's own send left (append when the node
+      // sent nothing), then return the frame to the arena.
+      for (Rank p = 0; p < N; ++p) {
+        Pending& in = inbox[static_cast<std::size_t>(p)];
+        if (!in.active) continue;
+        auto& buf = buffers[static_cast<std::size_t>(p)];
+        SealedFrameView<T> view;
+        std::string why;
+        TOREX_CHECK(decode_sealed_frame<T>(in.frame.view(), phase, step, in.src, p, N, view, &why),
+                    "pooled wire frame failed verification: " + why);
+        const std::size_t at = std::min(in.hole, buf.size());
+        buf.insert(buf.begin() + static_cast<std::ptrdiff_t>(at), view.count(), Parcel<T>{});
+        std::memcpy(buf.data() + at, view.run_bytes(), view.run_size());
+        arena.stats().bytes_copied += static_cast<std::int64_t>(view.run_size());
+        in.frame.reset();
+        in.active = false;
+      }
+    }
+  }
+
+  detail::check_parcel_postcondition(N, buffers);
+  detail::publish_wire_metrics(obs, wire_stats_delta(arena.stats(), stats_before));
   return buffers;
 }
 

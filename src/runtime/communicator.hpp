@@ -174,6 +174,10 @@ class TorusCommunicator {
   /// The algorithm kAuto resolves to for this block size.
   AlltoallAlgorithm select(std::int64_t block_bytes) const;
 
+  /// Cumulative wire statistics (frame pool hits/misses, bytes copied,
+  /// §3.3 run accounting) of every exchange this communicator has run.
+  const WirePoolStats& wire_stats() const { return wire_arena_.stats(); }
+
   /// All-to-all personalized exchange: send[p][q] is node p's payload
   /// for node q; returns recv with recv[q][p] == send[p][q]. The
   /// estimated time of the run is written to `modeled_time` when
@@ -208,7 +212,18 @@ class TorusCommunicator {
           buf.push_back({Block{p, q}, send[static_cast<std::size_t>(p)][static_cast<std::size_t>(q)]});
         }
       }
-      const auto delivered = exchange_payloads(algo, std::move(parcels), obs);
+      // Trivially copyable payloads ride the pooled zero-copy wire
+      // (frames recycle through the communicator's arena across
+      // exchanges); other types fall back to the struct-move executor.
+      ParcelBuffers<T> delivered;
+      if constexpr (std::is_trivially_copyable_v<Parcel<T>>) {
+        WireExchangeOptions wire_options;
+        wire_options.arena = &wire_arena_;
+        wire_options.obs = obs;
+        delivered = exchange_payloads_pooled(algo, std::move(parcels), wire_options);
+      } else {
+        delivered = exchange_payloads(algo, std::move(parcels), obs);
+      }
       SpanGuard permute_span(obs, "permute");
       std::vector<std::vector<T>> recv(static_cast<std::size_t>(N));
       for (Rank q = 0; q < N; ++q) {
@@ -486,6 +501,7 @@ class TorusCommunicator {
     run_options.cancel = options.cancel;
     run_options.flush = options.flush;
     run_options.obs = obs;
+    run_options.wire = &wire_arena_;
     ResumeReport report;
     ParcelBuffers<T> delivered;
     if (outcome.algorithm == AlltoallAlgorithm::kSuhShin && !outcome.degraded) {
@@ -544,8 +560,10 @@ class TorusCommunicator {
             {Block{p, q}, send[static_cast<std::size_t>(p)][static_cast<std::size_t>(q)]});
       }
     }
+    IntegrityOptions effective = options;
+    if (effective.arena == nullptr) effective.arena = &wire_arena_;
     const auto delivered = exchange_payloads_sealed(
-        algo, std::move(parcels), corruption.tamperer(algo.torus()), options, &report, obs);
+        algo, std::move(parcels), corruption.tamperer(algo.torus()), effective, &report, obs);
     std::vector<std::vector<T>> recv(static_cast<std::size_t>(N));
     for (Rank q = 0; q < N; ++q) {
       auto& row = recv[static_cast<std::size_t>(q)];
@@ -562,6 +580,12 @@ class TorusCommunicator {
   /// Built once in the constructor when the shape qualifies; reused by
   /// every alltoall/estimate call.
   std::optional<SuhShinAape> schedule_;
+  /// Frame pool shared by every exchange this communicator runs, so
+  /// wire buffers recycle across calls and the pool/traffic statistics
+  /// accumulate per communicator. Mutable because the collectives are
+  /// logically const; concurrent calls on one communicator were never
+  /// supported (each thread should own its communicator or engine).
+  mutable WireArena wire_arena_;
 };
 
 }  // namespace torex

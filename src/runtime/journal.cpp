@@ -72,17 +72,17 @@ void ExchangeJournal::record_deliveries(std::int64_t flat_step,
   TOREX_REQUIRE(flat_step >= 0 && flat_step <= total_steps_,
                 "delivery record step out of range");
   TOREX_REQUIRE(!pairs.empty(), "delivery record needs at least one pair");
-  std::vector<std::byte> payload;
-  wire_put_u32(payload, static_cast<std::uint32_t>(flat_step));
-  wire_put_u32(payload, static_cast<std::uint32_t>(pairs.size()));
+  scratch_.clear();
+  wire_put_u32(scratch_, static_cast<std::uint32_t>(flat_step));
+  wire_put_u32(scratch_, static_cast<std::uint32_t>(pairs.size()));
   for (const auto& [dest, origin] : pairs) {
     TOREX_REQUIRE(dest >= 0 && dest < num_nodes_ && origin >= 0 && origin < num_nodes_,
                   "delivery pair out of range");
     TOREX_REQUIRE(dest != origin, "self-deliveries are implicit, never recorded");
-    wire_put_u32(payload, static_cast<std::uint32_t>(dest));
-    wire_put_u32(payload, static_cast<std::uint32_t>(origin));
+    wire_put_u32(scratch_, static_cast<std::uint32_t>(dest));
+    wire_put_u32(scratch_, static_cast<std::uint32_t>(origin));
   }
-  append_record(kDeliveries, payload);
+  append_record(kDeliveries, scratch_);
   for (const auto& [dest, origin] : pairs) {
     mark_pair(dest, origin, /*require_new=*/true);
     deliveries_.push_back({flat_step, dest, origin});
@@ -93,9 +93,9 @@ void ExchangeJournal::commit_step(std::int64_t flat_step) {
   TOREX_REQUIRE(bound(), "journal is not bound to an exchange");
   TOREX_REQUIRE(flat_step == committed_steps_, "steps must commit in order");
   TOREX_REQUIRE(flat_step < total_steps_, "step commit past the schedule");
-  std::vector<std::byte> payload;
-  wire_put_u32(payload, static_cast<std::uint32_t>(flat_step));
-  append_record(kStepCommit, payload);
+  scratch_.clear();
+  wire_put_u32(scratch_, static_cast<std::uint32_t>(flat_step));
+  append_record(kStepCommit, scratch_);
   committed_steps_ = flat_step + 1;
 }
 
@@ -103,9 +103,9 @@ void ExchangeJournal::commit_phase(int phase) {
   TOREX_REQUIRE(bound(), "journal is not bound to an exchange");
   TOREX_REQUIRE(phase == committed_phase_ + 1, "phases must commit in order");
   TOREX_REQUIRE(phase <= num_phases_, "phase commit past the schedule");
-  std::vector<std::byte> payload;
-  wire_put_u32(payload, static_cast<std::uint32_t>(phase));
-  append_record(kPhaseCommit, payload);
+  scratch_.clear();
+  wire_put_u32(scratch_, static_cast<std::uint32_t>(phase));
+  append_record(kPhaseCommit, scratch_);
   committed_phase_ = phase;
 }
 
@@ -272,6 +272,35 @@ std::string ExchangeJournal::summary() const {
       << bitmap_.delivered() << "/" << bitmap_.expected() << " parcels delivered";
   if (torn_tail_) out << ", torn tail dropped";
   return out.str();
+}
+
+void JournalFileSink::sync(const ExchangeJournal& journal) {
+  const std::vector<std::byte>& bytes = journal.encode();
+  if (!wrote_ || bytes.size() < synced_) {
+    // First sync (or a journal that restarted): rewrite from scratch,
+    // truncating whatever the file held — including a torn tail a
+    // resumed journal dropped on load.
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("journal: cannot open '" + path_ + "' for writing");
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    if (!out) throw std::runtime_error("journal: short write to '" + path_ + "'");
+    ++rewrites_;
+    bytes_written_ += static_cast<std::int64_t>(bytes.size());
+    synced_ = bytes.size();
+    wrote_ = true;
+    return;
+  }
+  if (bytes.size() == synced_) return;  // nothing recorded since last sync
+  // Append only the tail, straight from the journal's buffer.
+  std::ofstream out(path_, std::ios::binary | std::ios::app);
+  if (!out) throw std::runtime_error("journal: cannot open '" + path_ + "' for appending");
+  out.write(reinterpret_cast<const char*>(bytes.data() + synced_),
+            static_cast<std::streamsize>(bytes.size() - synced_));
+  if (!out) throw std::runtime_error("journal: short append to '" + path_ + "'");
+  ++appends_;
+  bytes_written_ += static_cast<std::int64_t>(bytes.size() - synced_);
+  synced_ = bytes.size();
 }
 
 namespace detail {

@@ -123,6 +123,10 @@ class ExchangeJournal {
   void append_record(RecordKind kind, const std::vector<std::byte>& payload);
   void mark_pair(Rank dest, Rank origin, bool require_new);
 
+  /// Reused by every record builder so steady-state journaling does
+  /// not allocate per record.
+  std::vector<std::byte> scratch_;
+
   std::vector<std::int32_t> extents_;
   Rank num_nodes_ = 0;
   int num_phases_ = 0;
@@ -144,6 +148,36 @@ class ExchangeJournal {
   std::vector<DeliveryEntry> deliveries_;
 
   std::vector<std::byte> bytes_;
+};
+
+/// Incremental durability sink for one journal file. The first sync()
+/// rewrites the file from scratch (truncating any stale or torn
+/// on-disk content — important on resume, where the file may still
+/// hold a torn tail the loaded journal dropped); every later sync()
+/// appends only the bytes recorded since, writing straight out of the
+/// journal's own buffer, so a flush costs O(new bytes) instead of
+/// O(journal) and copies nothing. A journal whose byte stream shrank
+/// (rebound to a new exchange) triggers a fresh rewrite. A sink
+/// follows one journal at a time.
+class JournalFileSink {
+ public:
+  explicit JournalFileSink(std::string path) : path_(std::move(path)) {}
+
+  /// Persists everything the journal has recorded so far.
+  void sync(const ExchangeJournal& journal);
+
+  const std::string& path() const { return path_; }
+  std::int64_t appends() const { return appends_; }
+  std::int64_t rewrites() const { return rewrites_; }
+  std::int64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  std::string path_;
+  std::size_t synced_ = 0;
+  bool wrote_ = false;
+  std::int64_t appends_ = 0;
+  std::int64_t rewrites_ = 0;
+  std::int64_t bytes_written_ = 0;
 };
 
 /// Simulated process death injected into a journaled run: the step's
@@ -194,9 +228,16 @@ struct JournalRunOptions {
   /// ExchangeCancelledError (runtime/watchdog.hpp) via the runner.
   const std::atomic<bool>* cancel = nullptr;
   /// Durability hook: called after every appended record batch with the
-  /// journal in its current (flushed) state. Persist encode() here.
+  /// journal in its current (flushed) state. Persist encode() here
+  /// (JournalFileSink::sync appends incrementally).
   std::function<void(const ExchangeJournal&)> flush;
   Recorder* obs = nullptr;
+  /// Optional frame pool: when set (and the payload is trivially
+  /// copyable) live sends cross the wire as pooled sealed frames —
+  /// encoded with one memcpy, verified, and integrated in place —
+  /// instead of per-parcel struct moves. Replayed steps stay local
+  /// and never touch the wire either way.
+  WireArena* wire = nullptr;
 };
 
 namespace detail {
@@ -260,6 +301,8 @@ ParcelBuffers<T> exchange_payloads_journaled(const SuhShinAape& algo, ParcelBuff
   report.committed_steps_at_start = journal.committed_steps();
   report.committed_phase_at_start = journal.committed_phase();
   report.delivered_at_start = journal.delivered_parcels();
+  const WirePoolStats wire_stats_before =
+      options.wire != nullptr ? options.wire->stats() : WirePoolStats{};
 
   if (journal.exchange_complete()) {
     return detail::rebuild_complete(N, std::move(buffers), report);
@@ -288,6 +331,7 @@ ParcelBuffers<T> exchange_payloads_journaled(const SuhShinAape& algo, ParcelBuff
 
   ParcelBuffers<T> inbox(static_cast<std::size_t>(N));
   std::vector<std::pair<Rank, Rank>> arrivals;
+  PooledFrame frame;  // wire-path scratch, rebound per message
   std::int64_t flat_step = 0;  // 0-based global step index
 
   for (int phase = 1; phase <= algo.num_phases(); ++phase) {
@@ -314,8 +358,36 @@ ParcelBuffers<T> exchange_payloads_journaled(const SuhShinAape& algo, ParcelBuff
         }
         const Rank q = algo.partner(p, phase, step);
         auto& in = inbox[static_cast<std::size_t>(q)];
-        in.insert(in.end(), std::make_move_iterator(split),
-                  std::make_move_iterator(buf.end()));
+        bool framed = false;
+        if constexpr (std::is_trivially_copyable_v<Parcel<T>>) {
+          if (!replay && options.wire != nullptr) {
+            // Live send over the pooled wire: one frame per message,
+            // encoded with a single memcpy of the partitioned tail,
+            // CRC-verified, and appended to the inbox in place. The
+            // internal wire is never tampered with, so a failed
+            // verification is a logic error, not a retransmit case.
+            WireArena& arena = *options.wire;
+            const std::size_t send_count = static_cast<std::size_t>(moved);
+            const std::size_t run_bytes = send_count * sizeof(Parcel<T>);
+            frame.bind(arena, detail::kFrameHeaderBytes + run_bytes + detail::kFrameTrailerBytes);
+            encode_sealed_frame(&*split, send_count, phase, step, p, q, frame.bytes());
+            arena.stats().note_message(moved, 1);
+            arena.stats().bytes_encoded += static_cast<std::int64_t>(frame.bytes().size());
+            arena.stats().bytes_copied += static_cast<std::int64_t>(run_bytes);
+            SealedFrameView<T> view;
+            std::string why;
+            TOREX_CHECK(
+                decode_sealed_frame<T>(frame.view(), phase, step, p, q, N, view, &why),
+                "journaled wire frame failed verification: " + why);
+            view.append_to(in);
+            arena.stats().bytes_copied += static_cast<std::int64_t>(view.run_size());
+            framed = true;
+          }
+        }
+        if (!framed) {
+          in.insert(in.end(), std::make_move_iterator(split),
+                    std::make_move_iterator(buf.end()));
+        }
         buf.erase(split, buf.end());
       }
       for (Rank p = 0; p < N; ++p) {
@@ -391,6 +463,10 @@ ParcelBuffers<T> exchange_payloads_journaled(const SuhShinAape& algo, ParcelBuff
     obs->metrics().counter("resume.sent_parcels").add(report.sent_parcels);
     obs->metrics().counter("resume.replayed_parcels").add(report.replayed_parcels);
     obs->metrics().counter("resume.duplicates_dropped").add(report.duplicates_dropped);
+    if (options.wire != nullptr) {
+      detail::publish_wire_metrics(
+          obs, wire_stats_delta(options.wire->stats(), wire_stats_before));
+    }
   }
   return buffers;
 }

@@ -71,6 +71,16 @@ struct WorkerState {
 
   std::vector<std::vector<Block>> buffers;
   std::vector<std::vector<Block>> inbox;
+  /// Wire accounting (obs-gated; workers flush local tallies once on
+  /// exit). Every send is a single contiguous tail run by construction
+  /// — stable_partition gathers the send set before it is published —
+  /// so sends == contiguous sends; inbox reuse/grow counters report
+  /// whether the steady state reached zero-allocation publishes.
+  std::atomic<std::int64_t> wire_sends{0};
+  std::atomic<std::int64_t> wire_parcels{0};
+  std::atomic<std::int64_t> wire_bytes_copied{0};
+  std::atomic<std::int64_t> wire_inbox_reuses{0};
+  std::atomic<std::int64_t> wire_inbox_grows{0};
   std::vector<std::atomic<std::int64_t>> step_total;
   std::vector<std::atomic<std::int64_t>> step_max;
   std::atomic<bool> one_port_broken{false};
@@ -103,6 +113,11 @@ void worker_main(const std::shared_ptr<WorkerState>& st, const SuhShinAape* algo
     if (obs != nullptr) barrier_hist->observe(obs->now_ns() - t0);
   };
   bool early_exit = false;
+  std::int64_t wire_sends = 0;
+  std::int64_t wire_parcels = 0;
+  std::int64_t wire_bytes = 0;
+  std::int64_t inbox_reuses = 0;
+  std::int64_t inbox_grows = 0;
   for (std::size_t s = 0; s < st->steps.size(); ++s) {
     if (st->external != nullptr && st->external->load(std::memory_order_relaxed)) {
       st->external_tripped.store(true, std::memory_order_relaxed);
@@ -135,6 +150,16 @@ void worker_main(const std::shared_ptr<WorkerState>& st, const SuhShinAape* algo
         const Rank q = algo->partner(p, phase, step);
         auto& in = st->inbox[static_cast<std::size_t>(q)];
         if (!in.empty()) st->one_port_broken.store(true, std::memory_order_relaxed);
+        if (obs != nullptr) {
+          ++wire_sends;
+          wire_parcels += sent;
+          wire_bytes += sent * static_cast<std::int64_t>(sizeof(Block));
+          if (static_cast<std::size_t>(sent) <= in.capacity()) {
+            ++inbox_reuses;
+          } else {
+            ++inbox_grows;
+          }
+        }
         in.assign(split, buf.end());
         buf.erase(split, buf.end());
         local_max = std::max(local_max, sent);
@@ -167,6 +192,9 @@ void worker_main(const std::shared_ptr<WorkerState>& st, const SuhShinAape* algo
         auto& in = st->inbox[static_cast<std::size_t>(p)];
         if (in.empty()) continue;
         auto& buf = st->buffers[static_cast<std::size_t>(p)];
+        if (obs != nullptr) {
+          wire_bytes += static_cast<std::int64_t>(in.size() * sizeof(Block));
+        }
         buf.insert(buf.end(), in.begin(), in.end());
         in.clear();
       }
@@ -185,6 +213,13 @@ void worker_main(const std::shared_ptr<WorkerState>& st, const SuhShinAape* algo
   // arrive_and_drop provides it and removes the worker from every
   // later phase, so the survivors never deadlock waiting for it.
   if (early_exit) st->sync.arrive_and_drop();
+  if (obs != nullptr) {
+    st->wire_sends.fetch_add(wire_sends, std::memory_order_relaxed);
+    st->wire_parcels.fetch_add(wire_parcels, std::memory_order_relaxed);
+    st->wire_bytes_copied.fetch_add(wire_bytes, std::memory_order_relaxed);
+    st->wire_inbox_reuses.fetch_add(inbox_reuses, std::memory_order_relaxed);
+    st->wire_inbox_grows.fetch_add(inbox_grows, std::memory_order_relaxed);
+  }
   {
     std::lock_guard<std::mutex> lk(st->mu);
     st->finished.fetch_add(1, std::memory_order_relaxed);
@@ -355,6 +390,22 @@ ExchangeTrace ParallelExchange::run_verified() {
   }
 
   TOREX_CHECK(!st->one_port_broken.load(), "one-port violation detected by the parallel runtime");
+
+  if (obs != nullptr) {
+    MetricsRegistry& m = obs->metrics();
+    m.counter("wire.parallel.sends").add(st->wire_sends.load(std::memory_order_relaxed));
+    m.counter("wire.parallel.parcels").add(st->wire_parcels.load(std::memory_order_relaxed));
+    m.counter("wire.parallel.bytes_copied")
+        .add(st->wire_bytes_copied.load(std::memory_order_relaxed));
+    m.counter("wire.parallel.inbox_reuses")
+        .add(st->wire_inbox_reuses.load(std::memory_order_relaxed));
+    m.counter("wire.parallel.inbox_grows")
+        .add(st->wire_inbox_grows.load(std::memory_order_relaxed));
+    // stable_partition gathers every send set into one tail run before
+    // it is published, so every send is contiguous by construction.
+    m.counter("wire.parallel.contiguous_sends")
+        .add(st->wire_sends.load(std::memory_order_relaxed));
+  }
 
   ExchangeTrace trace;
   trace.rearrangement_passes = n + 1;

@@ -63,6 +63,13 @@ Coord TorusShape::coord_of(Rank rank) const {
   return coord;
 }
 
+std::int32_t TorusShape::coord_along(Rank rank, int dim) const {
+  TOREX_REQUIRE(rank >= 0 && rank < num_nodes_, "rank out of range");
+  TOREX_REQUIRE(dim >= 0 && dim < num_dims(), "dimension out of range");
+  const std::size_t d = static_cast<std::size_t>(dim);
+  return static_cast<std::int32_t>((rank / strides_[d]) % extents_[d]);
+}
+
 bool TorusShape::all_extents_multiple_of_four() const {
   return std::all_of(extents_.begin(), extents_.end(),
                      [](std::int32_t e) { return is_positive_multiple_of(e, 4); });

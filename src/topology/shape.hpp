@@ -43,6 +43,11 @@ class TorusShape {
   Rank rank_of(const Coord& coord) const;
   Coord coord_of(Rank rank) const;
 
+  /// Single component of coord_of(rank) without materializing the full
+  /// coordinate vector — allocation-free, for use in sort keys and
+  /// other per-block hot paths.
+  std::int32_t coord_along(Rank rank, int dim) const;
+
   /// True when every extent is a (positive) multiple of four — the
   /// precondition of the Suh–Shin algorithms.
   bool all_extents_multiple_of_four() const;

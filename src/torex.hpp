@@ -17,6 +17,7 @@
 #include "core/schedule_stats.hpp"
 #include "core/trace.hpp"
 #include "core/virtual_torus.hpp"
+#include "core/wire_buffer.hpp"
 #include "costmodel/lower_bounds.hpp"
 #include "costmodel/models.hpp"
 #include "costmodel/params.hpp"

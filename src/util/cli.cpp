@@ -1,8 +1,11 @@
 #include "util/cli.hpp"
 
 #include <algorithm>
+#include <charconv>
+#include <cmath>
 #include <sstream>
 #include <stdexcept>
+#include <system_error>
 
 #include "util/assert.hpp"
 
@@ -12,6 +15,20 @@ namespace {
 
 bool is_known(const std::vector<std::string>& known, const std::string& name) {
   return std::find(known.begin(), known.end(), name) != known.end();
+}
+
+/// Whole-token integer parse: every character must be consumed and the
+/// value must fit, so "8x8", "3 ", "0x10", and "99999999999999999999"
+/// are all rejected with a message naming the flag and the value.
+std::int64_t parse_int_strict(const std::string& name, const std::string& text) {
+  std::int64_t v = 0;
+  const char* last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), last, v);
+  TOREX_REQUIRE(ec != std::errc::result_out_of_range,
+                "flag --" + name + " is out of range: \"" + text + "\"");
+  TOREX_REQUIRE(ec == std::errc{} && ptr == last,
+                "flag --" + name + " expects an integer, got: \"" + text + "\"");
+  return v;
 }
 
 }  // namespace
@@ -53,13 +70,31 @@ std::string CliFlags::get_string(const std::string& name, const std::string& fal
 std::int64_t CliFlags::get_int(const std::string& name, std::int64_t fallback) const {
   auto it = values_.find(name);
   if (it == values_.end()) return fallback;
-  return std::stoll(it->second);
+  return parse_int_strict(name, it->second);
+}
+
+std::int64_t CliFlags::get_int(const std::string& name, std::int64_t fallback,
+                               std::int64_t min, std::int64_t max) const {
+  const std::int64_t v = get_int(name, fallback);
+  TOREX_REQUIRE(v >= min && v <= max, "flag --" + name + " must be in [" +
+                                          std::to_string(min) + ", " + std::to_string(max) +
+                                          "], got " + std::to_string(v));
+  return v;
 }
 
 double CliFlags::get_double(const std::string& name, double fallback) const {
   auto it = values_.find(name);
   if (it == values_.end()) return fallback;
-  return std::stod(it->second);
+  const std::string& text = it->second;
+  double v = 0.0;
+  const char* last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), last, v);
+  TOREX_REQUIRE(ec != std::errc::result_out_of_range,
+                "flag --" + name + " is out of range: \"" + text + "\"");
+  TOREX_REQUIRE(ec == std::errc{} && ptr == last,
+                "flag --" + name + " expects a number, got: \"" + text + "\"");
+  TOREX_REQUIRE(std::isfinite(v), "flag --" + name + " must be finite, got: \"" + text + "\"");
+  return v;
 }
 
 bool CliFlags::get_bool(const std::string& name, bool fallback) const {
@@ -76,7 +111,9 @@ std::vector<std::int64_t> CliFlags::get_int_list(const std::string& name,
   std::stringstream ss(it->second);
   std::string token;
   while (std::getline(ss, token, ',')) {
-    if (!token.empty()) out.push_back(std::stoll(token));
+    TOREX_REQUIRE(!token.empty(),
+                  "flag --" + name + " has an empty list element: \"" + it->second + "\"");
+    out.push_back(parse_int_strict(name, token));
   }
   TOREX_REQUIRE(!out.empty(), "empty list for flag --" + name);
   return out;

@@ -22,8 +22,22 @@ class CliFlags {
 
   bool has(const std::string& name) const;
   std::string get_string(const std::string& name, const std::string& fallback) const;
+
+  /// Strict integer: the whole value must parse (no trailing garbage,
+  /// no whitespace) and fit in int64, else std::invalid_argument naming
+  /// the flag and the offending value.
   std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+
+  /// Strict integer constrained to [min, max] (the fallback is checked
+  /// too, so an out-of-range default is a programming error that fails
+  /// loudly).
+  std::int64_t get_int(const std::string& name, std::int64_t fallback, std::int64_t min,
+                       std::int64_t max) const;
+
+  /// Strict double: same whole-token rule as get_int; rejects nan/inf
+  /// spellings as well as trailing garbage.
   double get_double(const std::string& name, double fallback) const;
+
   bool get_bool(const std::string& name, bool fallback) const;
 
   /// Comma-separated integer list, e.g. --dims=12,8,4.

@@ -115,6 +115,33 @@ TEST(SealedMessageTest, EveryTruncationIsDetected) {
   }
 }
 
+TEST(SealedMessageTest, ForgedCountIsBoundedBeforeParsing) {
+  const auto parcels = make_parcels(2, 3);
+  auto wire = encode_sealed_message(parcels, 1, 2, 5, 6);
+  // Forge a huge count and re-seal the header CRC, so the count bound
+  // — not the checksum — is what must reject it; the decoder may not
+  // let a forged count drive the parse loop or the allocator.
+  wire_write_u64(wire.data() + 28, std::uint64_t{1} << 60);
+  wire_write_u32(wire.data() + 36, crc32(wire.data(), 36));
+  std::vector<Parcel<std::int64_t>> out;
+  std::string reason;
+  EXPECT_FALSE(decode_sealed_message<std::int64_t>(wire, 1, 2, 5, 6, 16, out, &reason));
+  EXPECT_EQ(reason, "parcel count exceeds message size");
+}
+
+TEST(SealedMessageTest, NegativeMetadataRejected) {
+  const auto parcels = make_parcels(1, 1);
+  EXPECT_THROW(encode_sealed_message(parcels, -1, 2, 5, 6), std::invalid_argument);
+  EXPECT_THROW(encode_sealed_message(parcels, 1, 2, -5, 6), std::invalid_argument);
+  const auto wire = encode_sealed_message(parcels, 1, 2, 5, 6);
+  std::vector<Parcel<std::int64_t>> out;
+  std::string reason;
+  EXPECT_FALSE(decode_sealed_message<std::int64_t>(wire, 1, -2, 5, 6, 16, out, &reason));
+  EXPECT_EQ(reason, "negative message metadata");
+  EXPECT_FALSE(decode_sealed_message<std::int64_t>(wire, 1, 2, 5, -6, 16, out, &reason));
+  EXPECT_EQ(reason, "negative message metadata");
+}
+
 TEST(SealedMessageTest, RejectsWrongStepAndChannel) {
   const auto parcels = make_parcels(1, 2);
   const auto wire = encode_sealed_message(parcels, 1, 2, 1, 3);

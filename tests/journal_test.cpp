@@ -231,6 +231,49 @@ TEST(JournalWireTest, FileRoundTrip) {
   std::remove(path.c_str());
 }
 
+TEST(JournalFileSinkTest, IncrementalSyncMatchesFullSave) {
+  // The sink appends only the bytes recorded since its last sync (the
+  // journal's encoding is append-only), so a long run pays O(new
+  // records) per flush instead of rewriting the whole file — and the
+  // final file must still be byte-identical to a full save.
+  const TorusShape shape({4, 4});
+  ExchangeJournal journal(shape, 4, 4);
+  const std::string path = ::testing::TempDir() + "journal_sink.toxj";
+  JournalFileSink sink(path);
+  sink.sync(journal);  // first sync rewrites (header only)
+  journal.record_deliveries(0, {{0, 1}});
+  journal.commit_step(0);
+  sink.sync(journal);  // appends the new records
+  journal.record_deliveries(1, {{1, 2}});
+  journal.commit_step(1);
+  sink.sync(journal);
+  sink.sync(journal);  // no new bytes: a no-op
+  EXPECT_EQ(sink.rewrites(), 1);
+  EXPECT_EQ(sink.appends(), 2);
+  EXPECT_GT(sink.bytes_written(), 0);
+  const ExchangeJournal loaded = ExchangeJournal::load_file(path);
+  EXPECT_EQ(loaded.encode(), journal.encode());
+  std::remove(path.c_str());
+}
+
+TEST(JournalFileSinkTest, ShorterJournalForcesRewrite) {
+  // A sink re-pointed at a fresh (shorter) journal — the restart case —
+  // must rewrite from scratch, never append onto stale bytes.
+  const TorusShape shape({4, 4});
+  const std::string path = ::testing::TempDir() + "journal_sink_rewrite.toxj";
+  JournalFileSink sink(path);
+  ExchangeJournal big(shape, 4, 4);
+  big.record_deliveries(0, {{0, 1}});
+  big.commit_step(0);
+  sink.sync(big);
+  const ExchangeJournal fresh(shape, 4, 4);
+  sink.sync(fresh);
+  EXPECT_EQ(sink.rewrites(), 2);
+  const ExchangeJournal loaded = ExchangeJournal::load_file(path);
+  EXPECT_EQ(loaded.encode(), fresh.encode());
+  std::remove(path.c_str());
+}
+
 // --- Crash and resume, scheduled path ----------------------------------
 
 TEST(ResumeTest, KillAtEveryStepThenResumeIsExactlyOnce) {

@@ -166,5 +166,56 @@ TEST(CliTest, ParsesIntList) {
   EXPECT_EQ(flags.get_int_list("other", {1}), (std::vector<std::int64_t>{1}));
 }
 
+TEST(CliTest, StrictIntRejectsTrailingGarbage) {
+  const char* argv[] = {"prog", "--rows=12x", "--cols=8 ", "--depth=0x10", "--seed="};
+  auto flags = CliFlags::parse(5, argv, {"rows", "cols", "depth", "seed"});
+  EXPECT_THROW(flags.get_int("rows", 0), std::invalid_argument);
+  EXPECT_THROW(flags.get_int("cols", 0), std::invalid_argument);
+  EXPECT_THROW(flags.get_int("depth", 0), std::invalid_argument);
+  EXPECT_THROW(flags.get_int("seed", 0), std::invalid_argument);
+}
+
+TEST(CliTest, StrictIntRejectsOverflow) {
+  const char* argv[] = {"prog", "--big=99999999999999999999"};
+  auto flags = CliFlags::parse(2, argv, {"big"});
+  EXPECT_THROW(flags.get_int("big", 0), std::invalid_argument);
+}
+
+TEST(CliTest, StrictIntAcceptsNegatives) {
+  const char* argv[] = {"prog", "--delta=-7"};
+  auto flags = CliFlags::parse(2, argv, {"delta"});
+  EXPECT_EQ(flags.get_int("delta", 0), -7);
+}
+
+TEST(CliTest, BoundedIntEnforcesRange) {
+  const char* argv[] = {"prog", "--rate=150", "--ok=42"};
+  auto flags = CliFlags::parse(3, argv, {"rate", "ok"});
+  EXPECT_THROW(flags.get_int("rate", 0, 0, 100), std::invalid_argument);
+  EXPECT_EQ(flags.get_int("ok", 0, 0, 100), 42);
+  // The error names the flag so sweep-script typos are attributable.
+  try {
+    flags.get_int("rate", 0, 0, 100);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("--rate"), std::string::npos);
+  }
+}
+
+TEST(CliTest, StrictDoubleRejectsGarbageAndNonFinite) {
+  const char* argv[] = {"prog", "--p=0.5x", "--q=nan", "--r=inf", "--s=0.25"};
+  auto flags = CliFlags::parse(5, argv, {"p", "q", "r", "s"});
+  EXPECT_THROW(flags.get_double("p", 0.0), std::invalid_argument);
+  EXPECT_THROW(flags.get_double("q", 0.0), std::invalid_argument);
+  EXPECT_THROW(flags.get_double("r", 0.0), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(flags.get_double("s", 0.0), 0.25);
+}
+
+TEST(CliTest, StrictIntListRejectsBadElements) {
+  const char* argv[] = {"prog", "--a=1,2x,3", "--b=1,,2"};
+  auto flags = CliFlags::parse(3, argv, {"a", "b"});
+  EXPECT_THROW(flags.get_int_list("a", {}), std::invalid_argument);
+  EXPECT_THROW(flags.get_int_list("b", {}), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace torex

@@ -1,0 +1,489 @@
+// The zero-copy pooled wire path: WireArena recycling semantics,
+// PooledFrame RAII, the TOX2 frame codec (round-trip, every-bit-flip
+// and every-truncation detection, forged counts, negative metadata),
+// the pooled layout-faithful executor (differential against the plain
+// executor, §3.3 run accounting differential against the block-level
+// layout simulator, steady-state allocation behavior), and a seeded
+// deterministic fuzz harness over both wire formats — mutations must
+// never decode and never read out of bounds (the ASan/UBSan CI job
+// runs this suite under sanitizers).
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/data_array.hpp"
+#include "core/payload_exchange.hpp"
+#include "core/wire_buffer.hpp"
+#include "obs/recorder.hpp"
+#include "util/crc32.hpp"
+#include "util/prng.hpp"
+
+namespace torex {
+namespace {
+
+// --- WireArena ---------------------------------------------------------
+
+TEST(WireArenaTest, RecyclesFrames) {
+  WireArena arena;
+  {
+    PooledFrame f(arena, 64);
+    EXPECT_TRUE(f.bound());
+    EXPECT_EQ(arena.in_use(), 1);
+    EXPECT_EQ(arena.stats().pool_misses, 1);
+    EXPECT_EQ(arena.stats().pool_hits, 0);
+  }
+  EXPECT_EQ(arena.in_use(), 0);
+  EXPECT_EQ(arena.pooled(), 1u);
+  {
+    PooledFrame f(arena, 32);
+    EXPECT_EQ(arena.stats().pool_hits, 1);
+    EXPECT_EQ(arena.stats().pool_misses, 1);
+    EXPECT_EQ(arena.pooled(), 0u);
+  }
+  arena.trim();
+  EXPECT_EQ(arena.pooled(), 0u);
+  // Stats survive a trim.
+  EXPECT_EQ(arena.stats().pool_hits, 1);
+  EXPECT_EQ(arena.stats().acquires, 2);
+}
+
+TEST(WireArenaTest, HandsOutLargestPooledFrameFirst) {
+  WireArena arena;
+  std::vector<std::byte> small = arena.acquire(16);
+  std::vector<std::byte> big = arena.acquire(4096);
+  const std::size_t big_cap = big.capacity();
+  arena.release(std::move(small));
+  arena.release(std::move(big));
+  const std::vector<std::byte> got = arena.acquire(0);
+  EXPECT_GE(got.capacity(), big_cap);
+}
+
+TEST(WireArenaTest, UndersizedPooledFrameStillReused) {
+  WireArena arena;
+  arena.release(arena.acquire(8));
+  const std::vector<std::byte> f = arena.acquire(std::size_t{1} << 16);
+  EXPECT_EQ(arena.stats().pool_hits, 1);
+  EXPECT_EQ(arena.stats().pool_misses, 1);
+  EXPECT_EQ(arena.stats().undersized_hits, 1);
+}
+
+TEST(WireArenaTest, TracksPeakInUse) {
+  WireArena arena;
+  PooledFrame a(arena), b(arena), c(arena);
+  c.reset();
+  PooledFrame d(arena);
+  EXPECT_EQ(arena.stats().peak_in_use, 3);
+  EXPECT_EQ(arena.in_use(), 3);
+}
+
+TEST(PooledFrameTest, MoveTransfersOwnership) {
+  WireArena arena;
+  PooledFrame a(arena, 64);
+  a.bytes().resize(10);
+  PooledFrame b = std::move(a);
+  EXPECT_FALSE(a.bound());
+  EXPECT_TRUE(b.bound());
+  EXPECT_EQ(b.bytes().size(), 10u);
+  EXPECT_EQ(arena.in_use(), 1);
+  b.reset();
+  EXPECT_EQ(arena.in_use(), 0);
+  EXPECT_EQ(arena.pooled(), 1u);
+}
+
+TEST(PooledFrameTest, DefaultConstructedIsUnboundAndRebindable) {
+  PooledFrame f;
+  EXPECT_FALSE(f.bound());
+  WireArena arena;
+  f.bind(arena, 128);
+  EXPECT_TRUE(f.bound());
+  f.reset();
+  EXPECT_FALSE(f.bound());
+  EXPECT_EQ(arena.pooled(), 1u);
+}
+
+// --- TOX2 frame codec --------------------------------------------------
+
+std::vector<Parcel<std::int64_t>> make_parcels(Rank src, int count) {
+  std::vector<Parcel<std::int64_t>> out;
+  for (int i = 0; i < count; ++i) {
+    out.push_back({Block{src, static_cast<Rank>(i)}, src * 1000 + i});
+  }
+  return out;
+}
+
+TEST(SealedFrameTest, RoundTrip) {
+  const auto parcels = make_parcels(3, 5);
+  std::vector<std::byte> frame;
+  encode_sealed_frame(parcels.data(), parcels.size(), 2, 1, 3, 7, frame);
+  SealedFrameView<std::int64_t> view;
+  std::string reason;
+  ASSERT_TRUE(decode_sealed_frame<std::int64_t>(WireView(frame), 2, 1, 3, 7, 16, view, &reason))
+      << reason;
+  ASSERT_EQ(view.count(), parcels.size());
+  for (std::size_t i = 0; i < view.count(); ++i) {
+    const Parcel<std::int64_t> p = view.parcel(i);
+    EXPECT_EQ(p.block.origin, parcels[i].block.origin);
+    EXPECT_EQ(p.block.dest, parcels[i].block.dest);
+    EXPECT_EQ(p.payload, parcels[i].payload);
+  }
+  // append_to: the zero-copy integrate (one grow + one memcpy).
+  std::vector<Parcel<std::int64_t>> out;
+  out.push_back(parcels[0]);
+  view.append_to(out);
+  ASSERT_EQ(out.size(), parcels.size() + 1);
+  EXPECT_EQ(out.back().payload, parcels.back().payload);
+}
+
+TEST(SealedFrameTest, EmptyRunRoundTrips) {
+  std::vector<std::byte> frame;
+  encode_sealed_frame<std::int64_t>(nullptr, 0, 1, 1, 0, 1, frame);
+  SealedFrameView<std::int64_t> view;
+  std::string reason;
+  ASSERT_TRUE(decode_sealed_frame<std::int64_t>(WireView(frame), 1, 1, 0, 1, 4, view, &reason))
+      << reason;
+  EXPECT_EQ(view.count(), 0u);
+}
+
+TEST(SealedFrameTest, EveryBitFlipIsDetected) {
+  const auto parcels = make_parcels(2, 3);
+  std::vector<std::byte> clean;
+  encode_sealed_frame(parcels.data(), parcels.size(), 1, 2, 5, 6, clean);
+  SealedFrameView<std::int64_t> view;
+  for (std::size_t bit = 0; bit < clean.size() * 8; ++bit) {
+    auto frame = clean;
+    frame[bit / 8] ^= static_cast<std::byte>(1u << (bit % 8));
+    EXPECT_FALSE(decode_sealed_frame<std::int64_t>(WireView(frame), 1, 2, 5, 6, 16, view))
+        << "flipped bit " << bit << " slipped through";
+  }
+}
+
+TEST(SealedFrameTest, EveryTruncationIsDetected) {
+  const auto parcels = make_parcels(0, 2);
+  std::vector<std::byte> clean;
+  encode_sealed_frame(parcels.data(), parcels.size(), 1, 2, 0, 4, clean);
+  SealedFrameView<std::int64_t> view;
+  for (std::size_t keep = 0; keep < clean.size(); ++keep) {
+    const std::vector<std::byte> frame(clean.begin(),
+                                       clean.begin() + static_cast<std::ptrdiff_t>(keep));
+    EXPECT_FALSE(decode_sealed_frame<std::int64_t>(WireView(frame), 1, 2, 0, 4, 16, view))
+        << "truncation to " << keep << " bytes slipped through";
+  }
+}
+
+/// Patches the frame's count field and re-seals the header CRC so the
+/// forged count itself — not the checksum — is what decode must catch.
+std::vector<std::byte> forge_frame_count(std::vector<std::byte> frame, std::uint64_t count) {
+  wire_write_u64(frame.data() + 28, count);
+  wire_write_u32(frame.data() + 44, crc32(frame.data(), 44));
+  return frame;
+}
+
+TEST(SealedFrameTest, ForgedCountIsBoundedBeforeParsing) {
+  const auto parcels = make_parcels(1, 3);
+  std::vector<std::byte> clean;
+  encode_sealed_frame(parcels.data(), parcels.size(), 1, 1, 1, 2, clean);
+  SealedFrameView<std::int64_t> view;
+  std::string reason;
+  // A count far beyond the bytes present must be rejected by the bound
+  // check, not by running off the end of the buffer (or reserving an
+  // attacker-chosen allocation).
+  auto forged = forge_frame_count(clean, std::uint64_t{1} << 60);
+  EXPECT_FALSE(decode_sealed_frame<std::int64_t>(WireView(forged), 1, 1, 1, 2, 16, view, &reason));
+  EXPECT_EQ(reason, "parcel count exceeds message size");
+  // A count smaller than the bytes present is a size mismatch.
+  forged = forge_frame_count(clean, 2);
+  EXPECT_FALSE(decode_sealed_frame<std::int64_t>(WireView(forged), 1, 1, 1, 2, 16, view, &reason));
+  EXPECT_EQ(reason, "frame size mismatch");
+}
+
+TEST(SealedFrameTest, NegativeMetadataRejected) {
+  const auto parcels = make_parcels(1, 1);
+  std::vector<std::byte> frame;
+  EXPECT_THROW(encode_sealed_frame(parcels.data(), parcels.size(), -1, 1, 1, 2, frame),
+               std::invalid_argument);
+  EXPECT_THROW(encode_sealed_frame(parcels.data(), parcels.size(), 1, 1, -3, 2, frame),
+               std::invalid_argument);
+  encode_sealed_frame(parcels.data(), parcels.size(), 1, 1, 1, 2, frame);
+  SealedFrameView<std::int64_t> view;
+  std::string reason;
+  EXPECT_FALSE(decode_sealed_frame<std::int64_t>(WireView(frame), -1, 1, 1, 2, 16, view, &reason));
+  EXPECT_EQ(reason, "negative message metadata");
+  EXPECT_FALSE(decode_sealed_frame<std::int64_t>(WireView(frame), 1, 1, 1, -2, 16, view, &reason));
+  EXPECT_EQ(reason, "negative message metadata");
+}
+
+TEST(SealedFrameTest, RejectsWrongStepAndChannel) {
+  const auto parcels = make_parcels(1, 2);
+  std::vector<std::byte> frame;
+  encode_sealed_frame(parcels.data(), parcels.size(), 1, 2, 1, 3, frame);
+  SealedFrameView<std::int64_t> view;
+  std::string reason;
+  EXPECT_FALSE(decode_sealed_frame<std::int64_t>(WireView(frame), 2, 2, 1, 3, 16, view, &reason));
+  EXPECT_EQ(reason, "message sealed for a different step");
+  EXPECT_FALSE(decode_sealed_frame<std::int64_t>(WireView(frame), 1, 2, 1, 4, 16, view, &reason));
+  EXPECT_EQ(reason, "message sealed for a different channel");
+}
+
+TEST(SealedFrameTest, RejectsIdentityOutOfRange) {
+  const auto parcels = make_parcels(9, 1);  // origin 9 in a 4-node torus
+  std::vector<std::byte> frame;
+  encode_sealed_frame(parcels.data(), parcels.size(), 1, 1, 1, 2, frame);
+  SealedFrameView<std::int64_t> view;
+  std::string reason;
+  EXPECT_FALSE(decode_sealed_frame<std::int64_t>(WireView(frame), 1, 1, 1, 2, 4, view, &reason));
+  EXPECT_EQ(reason, "parcel identity out of range");
+}
+
+// --- Pooled layout-faithful exchange -----------------------------------
+
+ParcelBuffers<std::int64_t> canonical_parcels(Rank N) {
+  ParcelBuffers<std::int64_t> buffers(static_cast<std::size_t>(N));
+  for (Rank p = 0; p < N; ++p) {
+    for (Rank q = 0; q < N; ++q) {
+      buffers[static_cast<std::size_t>(p)].push_back({Block{p, q}, p * 10000 + q});
+    }
+  }
+  return buffers;
+}
+
+void expect_delivered(Rank N, const ParcelBuffers<std::int64_t>& out) {
+  for (Rank q = 0; q < N; ++q) {
+    ASSERT_EQ(out[static_cast<std::size_t>(q)].size(), static_cast<std::size_t>(N));
+    std::set<Rank> origins;
+    for (const auto& parcel : out[static_cast<std::size_t>(q)]) {
+      EXPECT_EQ(parcel.block.dest, q);
+      EXPECT_EQ(parcel.payload, parcel.block.origin * 10000 + q);
+      origins.insert(parcel.block.origin);
+    }
+    EXPECT_EQ(origins.size(), static_cast<std::size_t>(N));
+  }
+}
+
+TEST(PooledExchangeTest, DeliversTheAapePermutation) {
+  for (const auto& extents :
+       std::vector<std::vector<std::int32_t>>{{4, 4}, {8, 8}, {8, 4, 4}, {4, 4, 4}}) {
+    const TorusShape shape(extents);
+    const SuhShinAape algo(shape);
+    const Rank N = shape.num_nodes();
+    const auto out = exchange_payloads_pooled(algo, canonical_parcels(N));
+    expect_delivered(N, out);
+  }
+}
+
+TEST(PooledExchangeTest, NaiveLayoutDeliversToo) {
+  const TorusShape shape({4, 4});
+  const SuhShinAape algo(shape);
+  WireExchangeOptions options;
+  options.layout = LayoutPolicy::kNaiveDestinationOrder;
+  const auto out = exchange_payloads_pooled(algo, canonical_parcels(16), options);
+  expect_delivered(16, out);
+}
+
+TEST(PooledExchangeTest, RunAccountingMatchesLayoutSimulator) {
+  // The paper's §3.3 claim, cross-checked at the payload layer: the
+  // pooled executor's run accounting must agree exactly with the
+  // block-level layout simulator, because both order their buffers
+  // with the same keys and hole-splice discipline.
+  for (const auto& extents : std::vector<std::vector<std::int32_t>>{{8, 8}, {4, 4, 4}}) {
+    const TorusShape shape(extents);
+    const SuhShinAape algo(shape);
+    const LayoutStats blocks = run_layout_simulation(algo, LayoutPolicy::kPaper);
+    WireArena arena;
+    WireExchangeOptions options;
+    options.arena = &arena;
+    exchange_payloads_pooled(algo, canonical_parcels(shape.num_nodes()), options);
+    const WirePoolStats& wire = arena.stats();
+    EXPECT_EQ(wire.total_sends, blocks.total_sends) << shape.to_string();
+    EXPECT_EQ(wire.contiguous_sends, blocks.contiguous_sends) << shape.to_string();
+    EXPECT_EQ(wire.gathered_parcels, blocks.gathered_blocks) << shape.to_string();
+    EXPECT_EQ(wire.max_runs_per_send, blocks.max_runs_per_send) << shape.to_string();
+  }
+}
+
+TEST(PooledExchangeTest, PaperLayoutIsFullyContiguousIn2D) {
+  const TorusShape shape({8, 8});
+  const SuhShinAape algo(shape);
+  WireArena arena;
+  WireExchangeOptions options;
+  options.arena = &arena;
+  exchange_payloads_pooled(algo, canonical_parcels(64), options);
+  EXPECT_TRUE(arena.stats().fully_contiguous());
+  EXPECT_EQ(arena.stats().max_runs_per_send, 1);
+  EXPECT_EQ(arena.stats().gathered_parcels, 0);
+}
+
+TEST(PooledExchangeTest, PaperLayoutBoundsRunsIn3D) {
+  // n = 3: the parity obstruction allows at most 2^(n-2) = 2 runs.
+  const TorusShape shape({8, 4, 4});
+  const SuhShinAape algo(shape);
+  WireArena arena;
+  WireExchangeOptions options;
+  options.arena = &arena;
+  exchange_payloads_pooled(algo, canonical_parcels(shape.num_nodes()), options);
+  EXPECT_LE(arena.stats().max_runs_per_send, 2);
+}
+
+TEST(PooledExchangeTest, NaiveLayoutFragmentsSends) {
+  const TorusShape shape({8, 8});
+  const SuhShinAape algo(shape);
+  WireArena arena;
+  WireExchangeOptions options;
+  options.layout = LayoutPolicy::kNaiveDestinationOrder;
+  options.arena = &arena;
+  exchange_payloads_pooled(algo, canonical_parcels(64), options);
+  EXPECT_FALSE(arena.stats().fully_contiguous());
+  EXPECT_GT(arena.stats().gathered_parcels, 0);
+  EXPECT_GT(arena.stats().max_runs_per_send, 1);
+}
+
+TEST(PooledExchangeTest, ArenaReachesSteadyStateAcrossExchanges) {
+  const TorusShape shape({4, 4});
+  const SuhShinAape algo(shape);
+  WireArena arena;
+  WireExchangeOptions options;
+  options.arena = &arena;
+  exchange_payloads_pooled(algo, canonical_parcels(16), options);
+  const std::int64_t misses_first = arena.stats().pool_misses;
+  EXPECT_GT(misses_first, 0);
+  EXPECT_EQ(arena.in_use(), 0);
+  // The pool is warm: a second exchange allocates no new frames.
+  exchange_payloads_pooled(algo, canonical_parcels(16), options);
+  EXPECT_EQ(arena.stats().pool_misses, misses_first);
+  EXPECT_GT(arena.stats().pool_hits, 0);
+  EXPECT_EQ(arena.in_use(), 0);
+}
+
+TEST(PooledExchangeTest, PublishesWireMetrics) {
+  const TorusShape shape({4, 4});
+  const SuhShinAape algo(shape);
+  Recorder recorder;
+  WireExchangeOptions options;
+  options.obs = &recorder;
+  exchange_payloads_pooled(algo, canonical_parcels(16), options);
+  MetricsRegistry& m = recorder.metrics();
+  EXPECT_GT(m.counter("wire.messages").value(), 0);
+  EXPECT_GT(m.counter("wire.parcels").value(), 0);
+  EXPECT_GT(m.counter("wire.bytes_encoded").value(), 0);
+  EXPECT_GT(m.counter("wire.contiguous_sends").value(), 0);
+}
+
+// --- Sealed exchange over both wire paths ------------------------------
+
+TEST(SealedWirePathTest, PooledAndPerParcelAgree) {
+  const TorusShape shape({4, 4});
+  const SuhShinAape algo(shape);
+  IntegrityOptions pooled_options;
+  pooled_options.wire_path = WirePath::kPooled;
+  IntegrityReport pooled_report;
+  const auto pooled =
+      exchange_payloads_sealed(algo, canonical_parcels(16), {}, pooled_options, &pooled_report);
+  IntegrityOptions per_parcel_options;
+  per_parcel_options.wire_path = WirePath::kPerParcel;
+  IntegrityReport per_parcel_report;
+  const auto per_parcel = exchange_payloads_sealed(algo, canonical_parcels(16), {},
+                                                   per_parcel_options, &per_parcel_report);
+  expect_delivered(16, pooled);
+  expect_delivered(16, per_parcel);
+  EXPECT_EQ(pooled_report.messages, per_parcel_report.messages);
+  EXPECT_EQ(pooled_report.parcels, per_parcel_report.parcels);
+  EXPECT_EQ(pooled_report.final_tick, per_parcel_report.final_tick);
+}
+
+TEST(SealedWirePathTest, PooledPathSurvivesTamperingWithRetransmit) {
+  const TorusShape shape({4, 4});
+  const SuhShinAape algo(shape);
+  int tampered = 0;
+  // Flip one payload byte of the first few transmissions; the sealed
+  // frame must detect each and heal under retransmission.
+  const ParcelTamperer tamperer = [&](const TransferContext&, std::vector<std::byte>& wire) {
+    if (tampered >= 3 || wire.size() < 60) return false;
+    ++tampered;
+    wire[50] ^= std::byte{0x10};
+    return true;
+  };
+  IntegrityReport report;
+  const auto out = exchange_payloads_sealed(algo, canonical_parcels(16), tamperer, {}, &report);
+  expect_delivered(16, out);
+  EXPECT_EQ(report.corrupted, 3);
+  EXPECT_EQ(report.retransmits, 3);
+}
+
+// --- Deterministic fuzz harness ----------------------------------------
+
+/// Applies one seeded mutation (truncate, extend, or bit flips) and
+/// returns true when the result differs from the input.
+bool mutate(SplitMix64& rng, const std::vector<std::byte>& clean, std::vector<std::byte>& out) {
+  out = clean;
+  switch (rng.next_below(4)) {
+    case 0: {  // truncate
+      const std::size_t keep = static_cast<std::size_t>(rng.next_below(clean.size()));
+      out.resize(keep);
+      return true;
+    }
+    case 1: {  // extend with garbage
+      const std::size_t extra = 1 + static_cast<std::size_t>(rng.next_below(64));
+      for (std::size_t i = 0; i < extra; ++i) {
+        out.push_back(static_cast<std::byte>(rng.next() & 0xFF));
+      }
+      return true;
+    }
+    default: {  // flip 1..8 bits
+      const int flips = 1 + static_cast<int>(rng.next_below(8));
+      for (int i = 0; i < flips; ++i) {
+        const std::size_t bit = static_cast<std::size_t>(rng.next_below(out.size() * 8));
+        out[bit / 8] ^= static_cast<std::byte>(1u << (bit % 8));
+      }
+      return out != clean;  // an even re-flip of the same bit cancels
+    }
+  }
+}
+
+TEST(WireFuzzTest, MutatedFramesNeverDecode) {
+  SplitMix64 rng(0xF00DFACEu);
+  const auto parcels = make_parcels(2, 6);
+  std::vector<std::byte> clean;
+  encode_sealed_frame(parcels.data(), parcels.size(), 3, 1, 2, 9, clean);
+  SealedFrameView<std::int64_t> view;
+  std::vector<std::byte> wire;
+  for (int iter = 0; iter < 4000; ++iter) {
+    if (!mutate(rng, clean, wire)) continue;
+    std::string reason;
+    const bool ok = decode_sealed_frame<std::int64_t>(WireView(wire), 3, 1, 2, 9, 16, view, &reason);
+    ASSERT_FALSE(ok) << "mutated frame decoded at iter " << iter;
+    EXPECT_FALSE(reason.empty()) << "rejection must be named (iter " << iter << ")";
+  }
+}
+
+TEST(WireFuzzTest, MutatedMessagesNeverDecode) {
+  SplitMix64 rng(0xBADDCAFEu);
+  const auto parcels = make_parcels(4, 6);
+  const auto clean = encode_sealed_message(parcels, 3, 1, 4, 9);
+  std::vector<Parcel<std::int64_t>> out;
+  std::vector<std::byte> wire;
+  for (int iter = 0; iter < 4000; ++iter) {
+    if (!mutate(rng, clean, wire)) continue;
+    std::string reason;
+    const bool ok = decode_sealed_message<std::int64_t>(wire, 3, 1, 4, 9, 16, out, &reason);
+    ASSERT_FALSE(ok) << "mutated message decoded at iter " << iter;
+    EXPECT_FALSE(reason.empty()) << "rejection must be named (iter " << iter << ")";
+  }
+}
+
+TEST(WireFuzzTest, RandomGarbageNeverDecodes) {
+  SplitMix64 rng(0x5EEDu);
+  SealedFrameView<std::int64_t> view;
+  std::vector<Parcel<std::int64_t>> out;
+  for (int iter = 0; iter < 1000; ++iter) {
+    std::vector<std::byte> wire(static_cast<std::size_t>(rng.next_below(256)));
+    for (auto& b : wire) b = static_cast<std::byte>(rng.next() & 0xFF);
+    EXPECT_FALSE(decode_sealed_frame<std::int64_t>(WireView(wire), 1, 1, 0, 1, 4, view));
+    EXPECT_FALSE(decode_sealed_message<std::int64_t>(wire, 1, 1, 0, 1, 4, out));
+  }
+}
+
+}  // namespace
+}  // namespace torex

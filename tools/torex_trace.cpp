@@ -38,10 +38,13 @@
 // --kill-at/--resume/--crash switch it to `resumable`. The emitted
 // JSON is validated with the built-in RFC 8259 checker before writing;
 // buffer overflow (undersized --buffer) is reported as dropped events.
+#include <charconv>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <sstream>
 #include <string>
+#include <system_error>
 #include <vector>
 
 #include "core/exchange_engine.hpp"
@@ -57,7 +60,9 @@ namespace {
 
 using namespace torex;
 
-/// Parses an "8x4x4"-style extent list (also accepts commas).
+/// Parses an "8x4x4"-style extent list (also accepts commas). Strict:
+/// every extent must be a whole positive integer — "8x4q4", "8x", and
+/// "8x-4" are rejected with the offending token named.
 TorusShape parse_torus(const std::string& text) {
   std::vector<std::int32_t> extents;
   std::string token;
@@ -66,8 +71,14 @@ TorusShape parse_torus(const std::string& text) {
     std::istringstream part(token);
     std::string sub;
     while (std::getline(part, sub, ',')) {
-      if (sub.empty()) continue;
-      extents.push_back(static_cast<std::int32_t>(std::stol(sub)));
+      std::int32_t extent = 0;
+      const char* last = sub.data() + sub.size();
+      const auto [ptr, ec] = std::from_chars(sub.data(), last, extent);
+      if (sub.empty() || ec != std::errc{} || ptr != last || extent <= 0) {
+        throw std::invalid_argument("--torus has a bad extent \"" + sub + "\" in \"" + text +
+                                    "\" (want e.g. 8x8 or 8x4x4)");
+      }
+      extents.push_back(extent);
     }
   }
   if (extents.size() < 2) {
@@ -106,13 +117,15 @@ int main(int argc, char** argv) {
          "block-bytes", "journal", "kill-at", "kill-step", "resume", "crash"});
     const TorusShape shape = parse_torus(flags.get_string("torus", "8x8"));
     const std::string out_path = flags.get_string("out", "torex_trace.json");
-    const int faults_k = static_cast<int>(flags.get_int("faults", 0));
-    const int corrupt_k = static_cast<int>(flags.get_int("corrupt", 0));
-    const std::uint64_t seed = static_cast<std::uint64_t>(flags.get_int("seed", 0));
-    const int kill_phase = static_cast<int>(flags.get_int("kill-at", 0));
-    const int kill_step = static_cast<int>(flags.get_int("kill-step", 1));
+    constexpr std::int64_t kIntMax = std::numeric_limits<int>::max();
+    const int faults_k = static_cast<int>(flags.get_int("faults", 0, 0, kIntMax));
+    const int corrupt_k = static_cast<int>(flags.get_int("corrupt", 0, 0, kIntMax));
+    const std::uint64_t seed = static_cast<std::uint64_t>(
+        flags.get_int("seed", 0, 0, std::numeric_limits<std::int64_t>::max()));
+    const int kill_phase = static_cast<int>(flags.get_int("kill-at", 0, 0, kIntMax));
+    const int kill_step = static_cast<int>(flags.get_int("kill-step", 1, 1, kIntMax));
     const bool do_resume = flags.get_bool("resume", false);
-    const int crash_k = static_cast<int>(flags.get_int("crash", 0));
+    const int crash_k = static_cast<int>(flags.get_int("crash", 0, 0, kIntMax));
     const bool wants_resumable = kill_phase > 0 || do_resume || crash_k > 0;
     const std::string mode = flags.get_string(
         "mode", wants_resumable           ? "resumable"
@@ -121,11 +134,12 @@ int main(int argc, char** argv) {
 
     ObsOptions obs_options;
     obs_options.events_per_thread =
-        static_cast<std::size_t>(flags.get_int("buffer", 1 << 16));
+        static_cast<std::size_t>(flags.get_int("buffer", 1 << 16, 1, 1 << 26));
     Recorder recorder(obs_options);
 
     CostParams params;
-    params.m = flags.get_int("block-bytes", params.m);
+    params.m = flags.get_int("block-bytes", params.m, 1,
+                             std::numeric_limits<std::int64_t>::max());
     const SuhShinAape algo(shape);
 
     std::cout << "torex_trace: " << shape.to_string() << " (" << shape.num_nodes()
@@ -143,7 +157,7 @@ int main(int argc, char** argv) {
       trace = ExchangeEngine(algo, options).run_verified();
     } else if (mode == "parallel") {
       ParallelOptions options;
-      options.num_threads = static_cast<int>(flags.get_int("threads", 0));
+      options.num_threads = static_cast<int>(flags.get_int("threads", 0, 0, 4096));
       options.obs = &recorder;
       trace = ParallelExchange(algo, options).run_verified();
     } else if (mode == "payload") {
@@ -206,17 +220,19 @@ int main(int argc, char** argv) {
       options.resilience.algorithm = AlltoallAlgorithm::kSuhShin;
       options.resilience.block_bytes = params.m;
       options.resilience.obs = &recorder;
-      // Durability hook: every flush rewrites the journal file, so the
+      // Durability hook: the sink appends only the journal bytes that
+      // are new since its last sync (the first sync rewrites), so the
       // on-disk state always trails the in-memory one by at most the
       // record being written — exactly the torn-tail case decode drops.
-      options.flush = [&](const ExchangeJournal& j) { j.save_file(journal_path); };
+      JournalFileSink sink(journal_path);
+      options.flush = [&](const ExchangeJournal& j) { sink.sync(j); };
 
       ExchangeOutcome outcome;
       if (do_resume) {
         ExchangeJournal journal = ExchangeJournal::load_file(journal_path);
         std::cout << "loaded " << journal.summary() << "\n";
         const auto recv = comm.resume(send, fault_model, journal, outcome, options);
-        journal.save_file(journal_path);
+        sink.sync(journal);
         if (!matches(recv)) {
           std::cerr << "error: resumed exchange broke the AAPE permutation\n";
           return 1;
@@ -244,7 +260,7 @@ int main(int argc, char** argv) {
         try {
           const auto recv = comm.alltoall_resumable(send, fault_model, journal, outcome,
                                                     options);
-          journal.save_file(journal_path);
+          sink.sync(journal);
           if (!matches(recv)) {
             std::cerr << "error: journaled exchange broke the AAPE permutation\n";
             return 1;
@@ -256,11 +272,13 @@ int main(int argc, char** argv) {
           }
           std::cout << "outcome: " << outcome.summary() << "\n";
         } catch (const ExchangeCrashError& e) {
-          journal.save_file(journal_path);
+          sink.sync(journal);
           std::cout << "process died at phase " << e.phase() << " step " << e.step()
                     << " — " << journal.summary() << "\n";
-          std::cout << "journal saved to " << journal_path
-                    << "; re-run with --resume to finish the exchange\n";
+          std::cout << "journal saved to " << journal_path << " (" << sink.rewrites()
+                    << " rewrites, " << sink.appends() << " appends, "
+                    << sink.bytes_written()
+                    << " bytes written); re-run with --resume to finish the exchange\n";
         }
       }
       trace = schedule_trace(algo);

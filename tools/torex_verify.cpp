@@ -37,6 +37,7 @@
 // complete one.
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <optional>
 #include <vector>
 
@@ -377,18 +378,16 @@ int main(int argc, char** argv) {
         argc, argv,
         {"max-nodes", "max-dims", "flit-level", "layout", "static-nodes", "faults", "chaos",
          "seed", "trace", "kill-rate"});
-    const std::int64_t max_nodes = flags.get_int("max-nodes", 800);
-    const int max_dims = static_cast<int>(flags.get_int("max-dims", 4));
+    constexpr std::int64_t kIntMax = std::numeric_limits<int>::max();
+    const std::int64_t max_nodes = flags.get_int("max-nodes", 800, 4, 1'000'000);
+    const int max_dims = static_cast<int>(flags.get_int("max-dims", 4, 2, 16));
     const bool flit_level = flags.get_bool("flit-level", false);
     const bool layout = flags.get_bool("layout", false);
-    const int faults_k = static_cast<int>(flags.get_int("faults", 0));
-    const int chaos_runs = static_cast<int>(flags.get_int("chaos", 0));
-    const int kill_rate = static_cast<int>(flags.get_int("kill-rate", 0));
-    const std::uint64_t base_seed = static_cast<std::uint64_t>(flags.get_int("seed", 0));
-    if (kill_rate < 0 || kill_rate > 100) {
-      std::cerr << "error: --kill-rate must be a percentage in [0, 100]\n";
-      return 1;
-    }
+    const int faults_k = static_cast<int>(flags.get_int("faults", 0, 0, kIntMax));
+    const int chaos_runs = static_cast<int>(flags.get_int("chaos", 0, 0, kIntMax));
+    const int kill_rate = static_cast<int>(flags.get_int("kill-rate", 0, 0, 100));
+    const std::uint64_t base_seed = static_cast<std::uint64_t>(
+        flags.get_int("seed", 0, 0, std::numeric_limits<std::int64_t>::max()));
     const std::string trace_path = flags.get_string("trace", "");
     std::optional<Recorder> recorder;
     if (!trace_path.empty()) recorder.emplace();
@@ -493,7 +492,7 @@ int main(int argc, char** argv) {
 
     // Optional second pass: static contention proofs on shapes far too
     // large to execute (O(N n) per step, no block movement).
-    const std::int64_t static_nodes = flags.get_int("static-nodes", 0);
+    const std::int64_t static_nodes = flags.get_int("static-nodes", 0, 0, 100'000'000);
     if (static_nodes > 0) {
       std::vector<std::vector<std::int32_t>> big;
       {
