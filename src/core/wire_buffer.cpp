@@ -5,6 +5,7 @@ namespace torex {
 WirePoolStats wire_stats_delta(const WirePoolStats& after, const WirePoolStats& before) {
   WirePoolStats d;
   d.acquires = after.acquires - before.acquires;
+  d.releases = after.releases - before.releases;
   d.pool_hits = after.pool_hits - before.pool_hits;
   d.pool_misses = after.pool_misses - before.pool_misses;
   d.undersized_hits = after.undersized_hits - before.undersized_hits;
@@ -43,6 +44,7 @@ std::vector<std::byte> WireArena::acquire(std::size_t size_hint) {
 }
 
 void WireArena::release(std::vector<std::byte>&& frame) {
+  ++stats_.releases;
   --in_use_;
   free_.push_back(std::move(frame));
   // Keep the biggest frame last so acquire() hands it out first.

@@ -105,10 +105,16 @@ enum class WirePath {
 struct WirePoolStats {
   // -- pool --
   std::int64_t acquires = 0;        ///< frames handed out
+  std::int64_t releases = 0;        ///< frames returned to the pool
   std::int64_t pool_hits = 0;       ///< satisfied from the freelist
   std::int64_t pool_misses = 0;     ///< needed a fresh allocation
   std::int64_t undersized_hits = 0; ///< pooled frame will regrow for this use
   std::int64_t peak_in_use = 0;     ///< most frames outstanding at once
+
+  /// Leased frames never returned: acquires - releases. Zero whenever
+  /// no exchange is mid-step; a session that tears down with a nonzero
+  /// balance has leaked a PooledFrame (or released one twice).
+  std::int64_t outstanding_frames() const { return acquires - releases; }
 
   // -- traffic --
   std::int64_t messages = 0;        ///< frames encoded

@@ -57,6 +57,13 @@ std::int64_t MetricsSnapshot::counter_value(const std::string& name) const {
   return 0;
 }
 
+std::int64_t MetricsSnapshot::gauge_value(const std::string& name) const {
+  for (const auto& g : gauges) {
+    if (g.name == name) return g.value;
+  }
+  return 0;
+}
+
 Counter& MetricsRegistry::counter(const std::string& name) {
   std::lock_guard<std::mutex> lk(mu_);
   if (gauges_.count(name) != 0 || histograms_.count(name) != 0) {

@@ -103,6 +103,8 @@ struct MetricsSnapshot {
 
   /// Counter value by name; 0 when absent (convenient in tests/tools).
   std::int64_t counter_value(const std::string& name) const;
+  /// Gauge value by name; 0 when absent.
+  std::int64_t gauge_value(const std::string& name) const;
 };
 
 /// Name -> metric map with find-or-create semantics. Creating two

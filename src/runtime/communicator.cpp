@@ -149,6 +149,13 @@ CostBreakdown TorusCommunicator::estimate(AlltoallAlgorithm algorithm,
   TOREX_UNREACHABLE();
 }
 
+double TorusCommunicator::phase_cost(std::int64_t block_bytes) const {
+  TOREX_REQUIRE(suh_shin_applicable(),
+                "per-phase pricing requires the Suh-Shin schedule (qualifying shape)");
+  const auto phases = static_cast<double>(schedule_->num_phases());
+  return estimate(AlltoallAlgorithm::kSuhShin, block_bytes).total() / phases;
+}
+
 ExchangeOutcome TorusCommunicator::plan_resilient(const FaultModel& faults,
                                                   const ResilienceOptions& options,
                                                   std::int64_t block_bytes) const {

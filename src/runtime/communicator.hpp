@@ -171,6 +171,13 @@ class TorusCommunicator {
   /// Estimated completion time of one algorithm for m-byte blocks.
   CostBreakdown estimate(AlltoallAlgorithm algorithm, std::int64_t block_bytes) const;
 
+  /// Modeled time of one Suh-Shin phase for m-byte blocks (the full
+  /// estimate spread evenly over the schedule's phases). This is the
+  /// price the service layer charges a session's virtual-time account
+  /// per executed phase, and the unit its deadline arithmetic uses.
+  /// Requires a qualifying shape.
+  double phase_cost(std::int64_t block_bytes) const;
+
   /// The algorithm kAuto resolves to for this block size.
   AlltoallAlgorithm select(std::int64_t block_bytes) const;
 

@@ -18,6 +18,7 @@ void FailureDetectorOptions::validate() const {
                 "failure detector: heartbeat interval must be positive");
   TOREX_REQUIRE(phi_threshold > 0.0, "failure detector: phi threshold must be positive");
   TOREX_REQUIRE(window >= 1, "failure detector: sample window must hold at least one gap");
+  TOREX_REQUIRE(warmup_samples >= 0, "failure detector: warm-up sample count must be non-negative");
 }
 
 HeartbeatFailureDetector::HeartbeatFailureDetector(Rank num_nodes,
@@ -34,6 +35,14 @@ void HeartbeatFailureDetector::heartbeat(Rank node, std::int64_t tick) {
   TOREX_REQUIRE(node >= 0 && node < num_nodes_, "heartbeat from unknown node");
   auto& state = nodes_[static_cast<std::size_t>(node)];
   TOREX_REQUIRE(state.last_arrival <= tick, "heartbeats must arrive in tick order");
+  if (state.last_arrival < 0) {
+    // First heartbeat: seed the window with nominal-interval samples so
+    // the early mean starts at the configured cadence instead of being
+    // dominated by the first one or two (possibly tiny) real gaps.
+    const int seeds = std::min(options_.warmup_samples, options_.window);
+    state.intervals.assign(static_cast<std::size_t>(seeds), options_.heartbeat_interval);
+    state.next_slot = 0;
+  }
   if (state.last_arrival >= 0) {
     const std::int64_t gap = tick - state.last_arrival;
     if (static_cast<int>(state.intervals.size()) < options_.window) {

@@ -43,6 +43,12 @@ struct FailureDetectorOptions {
   double phi_threshold = 8.0;
   /// Sliding window of inter-arrival samples kept per node.
   int window = 32;
+  /// Synthetic samples of `heartbeat_interval` pre-seeded into a node's
+  /// window on its first heartbeat, so a couple of atypically quick
+  /// early beats cannot collapse the mean and make a fresh node
+  /// instantly suspicious. The seeds age out of the ring as real gaps
+  /// arrive. 0 restores the unseeded (warm-up-sensitive) estimate.
+  int warmup_samples = 8;
 
   void validate() const;
 };

@@ -278,12 +278,16 @@ ExchangeTrace ParallelExchange::run_verified() {
   const std::chrono::milliseconds poll(
       watchdog ? std::max<std::int64_t>(1, std::min<std::int64_t>(deadline.count() / 4, 100))
                : 100);
+  const std::chrono::milliseconds run_budget = options_.run_deadline;
+  const bool has_run_deadline = run_budget.count() > 0;
   bool stalled = false;
+  bool deadlined = false;
   std::optional<Rank> suspected;
   {
     std::unique_lock<std::mutex> lk(st->mu);
     std::int64_t last_progress = st->progress.load(std::memory_order_relaxed);
     auto last_change = std::chrono::steady_clock::now();
+    const auto run_end = last_change + run_budget;
     while (st->finished.load(std::memory_order_relaxed) < T) {
       st->cv.wait_for(lk, poll);
       if (options_.cancel != nullptr && options_.cancel->load() &&
@@ -310,6 +314,22 @@ ExchangeTrace ParallelExchange::run_verified() {
       }
       const std::int64_t now_progress = st->progress.load(std::memory_order_relaxed);
       const auto now = std::chrono::steady_clock::now();
+      if (has_run_deadline && !deadlined && now >= run_end) {
+        // Absolute budget spent: cancel cooperatively and give workers
+        // one poll-sized grace window to unwind at a boundary.
+        deadlined = true;
+        if (obs != nullptr) {
+          obs->instant("deadline_fired", -1, 0, 0, run_budget.count());
+          obs->metrics().counter("watchdog.deadline_fired").add();
+        }
+        st->cancel.store(true, std::memory_order_relaxed);
+        const auto grace_end = now + std::max(deadline, std::chrono::milliseconds(100));
+        while (st->finished.load(std::memory_order_relaxed) < T &&
+               std::chrono::steady_clock::now() < grace_end) {
+          st->cv.wait_for(lk, poll);
+        }
+        break;
+      }
       if (now_progress != last_progress) {
         last_progress = now_progress;
         last_change = now;
@@ -365,6 +385,20 @@ ExchangeTrace ParallelExchange::run_verified() {
     }
     const std::size_t stuck = std::min(static_cast<std::size_t>(slow_step), steps.size() - 1);
     throw CrashSuspectedError(steps[stuck].phase, steps[stuck].step, *suspected);
+  }
+  if (!completed && deadlined) {
+    // Attribute the abort to the slowest worker's superstep, same as a
+    // stall would be.
+    std::int64_t slow_step = st->thread_step[0].load(std::memory_order_relaxed);
+    for (std::size_t tid = 1; tid < static_cast<std::size_t>(T); ++tid) {
+      slow_step = std::min(slow_step, st->thread_step[tid].load(std::memory_order_relaxed));
+    }
+    const std::size_t stuck = std::min(static_cast<std::size_t>(slow_step), steps.size() - 1);
+    const int unfinished = T - st->finished.load(std::memory_order_relaxed);
+    std::ostringstream detail;
+    detail << "run budget spent before completion";
+    if (unfinished > 0) detail << ", " << unfinished << " worker(s) detached";
+    throw DeadlineExceededError(steps[stuck].phase, steps[stuck].step, run_budget, detail.str());
   }
   if (!completed && stalled) {
     // Attribute the stall: the slowest worker's superstep and the node

@@ -48,6 +48,13 @@ struct ParallelOptions {
   /// with RuntimeStallError. 0 disables the watchdog.
   std::chrono::milliseconds stall_deadline{30000};
 
+  /// Absolute whole-run budget: a run still incomplete this long after
+  /// it started is cancelled and aborted with DeadlineExceededError —
+  /// even while workers keep making (too slow) progress, which the
+  /// relative stall deadline above would never catch. 0 disables. The
+  /// service layer uses this to bound a session's engine time.
+  std::chrono::milliseconds run_deadline{0};
+
   /// Cooperative cancellation: when non-null and set to true, workers
   /// unwind at the next superstep boundary and run_verified throws
   /// ExchangeCancelledError.

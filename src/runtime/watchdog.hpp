@@ -58,6 +58,34 @@ class ExchangeCancelledError : public std::runtime_error {
   explicit ExchangeCancelledError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Raised when a run exceeds an absolute deadline (as opposed to the
+/// relative no-progress stall deadline): the whole-run budget of the
+/// parallel engine's run_deadline, or a session's admission deadline in
+/// the service layer. The run may have been making progress — it was
+/// just not going to finish in time. Carries where the run stopped.
+class DeadlineExceededError : public std::runtime_error {
+ public:
+  DeadlineExceededError(int phase, int step, std::chrono::milliseconds budget,
+                        const std::string& detail)
+      : std::runtime_error(format(phase, step, budget, detail)), phase_(phase), step_(step) {}
+
+  int phase() const { return phase_; }
+  int step() const { return step_; }
+
+ private:
+  static std::string format(int phase, int step, std::chrono::milliseconds budget,
+                            const std::string& detail) {
+    std::ostringstream os;
+    os << "run deadline exceeded: budget of " << budget.count() << " ms spent at phase " << phase
+       << " step " << step;
+    if (!detail.empty()) os << " (" << detail << ')';
+    return os.str();
+  }
+
+  int phase_;
+  int step_;
+};
+
 /// Raised when a runtime's failure-detector probe (the suspect_probe
 /// hook) names a node suspected dead: the run is abandoned at the next
 /// superstep boundary so recovery can start *before* the stall deadline

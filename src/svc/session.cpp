@@ -1,0 +1,30 @@
+#include "svc/session.hpp"
+
+#include "util/assert.hpp"
+
+namespace torex {
+
+std::string to_string(SessionState state) {
+  switch (state) {
+    case SessionState::kQueued: return "queued";
+    case SessionState::kRunning: return "running";
+    case SessionState::kCompleted: return "completed";
+    case SessionState::kRejected: return "rejected";
+    case SessionState::kDeadlineMissed: return "deadline_missed";
+    case SessionState::kFailed: return "failed";
+    case SessionState::kCancelled: return "cancelled";
+  }
+  TOREX_UNREACHABLE();
+}
+
+std::string to_string(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kNone: return "none";
+    case RejectReason::kQueueFull: return "queue_full";
+    case RejectReason::kParcelBytesQuota: return "parcel_bytes_quota";
+    case RejectReason::kMalformedRequest: return "malformed_request";
+  }
+  TOREX_UNREACHABLE();
+}
+
+}  // namespace torex

@@ -1,0 +1,162 @@
+#include "svc/session_exchange.hpp"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace torex {
+
+namespace {
+
+using Word = std::int64_t;
+
+/// A step's in-flight message: the sealed frame stays leased (RAII)
+/// until the integrate half has verified and spliced it.
+struct PendingFrame {
+  PooledFrame frame;
+  Rank src = -1;
+  Rank dst = -1;
+  std::int64_t count = 0;
+};
+
+}  // namespace
+
+SessionExchange::SessionExchange(SessionId id, const SuhShinAape& algo,
+                                 const std::vector<std::vector<Word>>& send, WireArena& arena,
+                                 std::int64_t max_leased_frames)
+    : id_(id), algo_(&algo), arena_(&arena), frame_quota_(max_leased_frames) {
+  const Rank N = algo.shape().num_nodes();
+  TOREX_REQUIRE(static_cast<Rank>(send.size()) == N, "session send buffer must have N rows");
+  buffers_.resize(static_cast<std::size_t>(N));
+  inbox_.resize(static_cast<std::size_t>(N));
+  for (Rank p = 0; p < N; ++p) {
+    const auto& row = send[static_cast<std::size_t>(p)];
+    TOREX_REQUIRE(static_cast<Rank>(row.size()) == N, "session send rows must have N entries");
+    auto& buf = buffers_[static_cast<std::size_t>(p)];
+    buf.reserve(static_cast<std::size_t>(N));
+    for (Rank q = 0; q < N; ++q) {
+      buf.push_back({Block{p, q}, row[static_cast<std::size_t>(q)]});
+    }
+  }
+  journal_ = ExchangeJournal(algo.shape(), algo.num_phases(), algo.total_steps());
+}
+
+void SessionExchange::run_phase(const std::atomic<bool>* cancel,
+                                const SessionInjection& inject) {
+  TOREX_REQUIRE(!complete(), "session exchange already complete");
+  const Rank N = algo_->shape().num_nodes();
+  const int phase = phases_done_ + 1;
+  bool corrupted_this_phase = false;
+
+  std::vector<PendingFrame> pending;
+  std::vector<std::pair<Rank, Rank>> arrivals;
+  for (int step = 1; step <= algo_->steps_in_phase(phase); ++step, ++flat_step_) {
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      detail::throw_journal_cancelled(phase, step);
+    }
+
+    // Send half: partition each node's buffer, seal the contiguous
+    // tail into a leased frame, and count the lease against the
+    // tenant's quota before the arena is touched.
+    pending.clear();
+    arrivals.clear();
+    for (Rank p = 0; p < N; ++p) {
+      auto& buf = buffers_[static_cast<std::size_t>(p)];
+      auto split = std::stable_partition(buf.begin(), buf.end(), [&](const Parcel<Word>& x) {
+        return !algo_->should_send(p, phase, step, x.block);
+      });
+      if (split == buf.end()) continue;
+      const auto moved = static_cast<std::int64_t>(std::distance(split, buf.end()));
+      if (frame_quota_ > 0 && static_cast<std::int64_t>(pending.size()) >= frame_quota_) {
+        throw SessionQuotaError(id_, static_cast<std::int64_t>(pending.size()), frame_quota_);
+      }
+      const Rank q = algo_->partner(p, phase, step);
+      const std::size_t send_count = static_cast<std::size_t>(moved);
+      const std::size_t run_bytes = send_count * sizeof(Parcel<Word>);
+      PendingFrame out;
+      out.frame.bind(*arena_,
+                     detail::kFrameHeaderBytes + run_bytes + detail::kFrameTrailerBytes);
+      encode_sealed_frame(&*split, send_count, phase, step, p, q, out.frame.bytes());
+      arena_->stats().note_message(moved, 1);
+      arena_->stats().bytes_encoded += static_cast<std::int64_t>(out.frame.bytes().size());
+      arena_->stats().bytes_copied += static_cast<std::int64_t>(run_bytes);
+      if (inject.corrupt_phase == phase && !corrupted_this_phase) {
+        // One flipped payload bit: the frame CRC refuses it below.
+        out.frame.bytes()[detail::kFrameHeaderBytes] ^= std::byte{0x01};
+        corrupted_this_phase = true;
+      }
+      out.src = p;
+      out.dst = q;
+      out.count = moved;
+      pending.push_back(std::move(out));
+      sent_parcels_ += moved;
+      buf.erase(split, buf.end());
+    }
+    peak_leased_ = std::max(peak_leased_, static_cast<std::int64_t>(pending.size()));
+
+    // Integrate half: verify each frame in place and append its run to
+    // the receiver's inbox. A refused frame kills this session only —
+    // the pending frames release via RAII on the throw.
+    for (const PendingFrame& in : pending) {
+      SealedFrameView<Word> view;
+      std::string why;
+      if (!decode_sealed_frame<Word>(in.frame.view(), phase, step, in.src, in.dst, N, view,
+                                     &why)) {
+        throw SessionIntegrityError(id_, phase, step, why);
+      }
+      view.append_to(inbox_[static_cast<std::size_t>(in.dst)]);
+      arena_->stats().bytes_copied += static_cast<std::int64_t>(view.run_size());
+    }
+    pending.clear();  // return the step's frames to the arena
+    for (Rank p = 0; p < N; ++p) {
+      auto& in = inbox_[static_cast<std::size_t>(p)];
+      if (in.empty()) continue;
+      auto& buf = buffers_[static_cast<std::size_t>(p)];
+      for (auto& parcel : in) {
+        if (parcel.block.dest == p && parcel.block.origin != p) {
+          arrivals.emplace_back(p, parcel.block.origin);
+        }
+        buf.push_back(std::move(parcel));
+      }
+      in.clear();
+    }
+
+    // Write-ahead order, exactly as the journaled executor: deliveries
+    // flush before the commit marker; the crash injection and the
+    // cancel window both sit between them.
+    if (!arrivals.empty()) journal_.record_deliveries(flat_step_, arrivals);
+    if (inject.crash_phase == phase && step == 1) {
+      throw ExchangeCrashError(phase, step,
+                               "injected session crash after journal flush (phase " +
+                                   std::to_string(phase) + ", step " + std::to_string(step) +
+                                   ")");
+    }
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      detail::throw_journal_cancelled(phase, step);
+    }
+    journal_.commit_step(flat_step_);
+  }
+  journal_.commit_phase(phase);
+  ++phases_done_;
+}
+
+std::vector<std::vector<Word>> SessionExchange::take_result() {
+  TOREX_REQUIRE(complete(), "session result requested before the exchange finished");
+  const Rank N = algo_->shape().num_nodes();
+  detail::check_parcel_postcondition(N, buffers_);
+  TOREX_CHECK(journal_.exchange_complete(), "session journal incomplete after a finished exchange");
+  std::vector<std::vector<Word>> recv(static_cast<std::size_t>(N));
+  for (Rank q = 0; q < N; ++q) {
+    auto& row = recv[static_cast<std::size_t>(q)];
+    row.resize(static_cast<std::size_t>(N));
+    for (const auto& parcel : buffers_[static_cast<std::size_t>(q)]) {
+      row[static_cast<std::size_t>(parcel.block.origin)] = parcel.payload;
+    }
+    buffers_[static_cast<std::size_t>(q)].clear();
+  }
+  return recv;
+}
+
+}  // namespace torex

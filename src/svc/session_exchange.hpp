@@ -1,0 +1,85 @@
+// Incremental per-phase execution of one session's exchange.
+//
+// The journaled executor (runtime/journal.hpp) runs a whole exchange in
+// one call; the weighted-fair scheduler needs to interleave *phases*
+// from different sessions. SessionExchange is the journaled data path
+// re-cut at phase granularity: each run_phase() call executes exactly
+// one Suh-Shin phase's steps over the session's parcels — pooled sealed
+// frames on the wire, write-ahead journal flush before every step
+// commit, cooperative cancel polled at the step boundary and inside the
+// flush/commit window — then returns control to the scheduler. State
+// between calls lives in the object, so a session can sit unscheduled
+// for arbitrarily long between phases while other tenants use the
+// engine.
+//
+// Isolation properties the manager relies on:
+//  * every frame leased from the shared arena during a step is held by
+//    an RAII PooledFrame inside run_phase's scope — any throw (crash,
+//    corruption, quota, cancel) releases them all before unwinding, so
+//    a failing session cannot leak frames into other tenants' budget
+//    (WirePoolStats::outstanding_frames() stays balanced);
+//  * the journal is per-session: a victim's partial journal decodes and
+//    resumes independently of every other session's;
+//  * tenant frame quotas are enforced at lease time, before the arena
+//    is touched, so a quota breach costs the breaching session only.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "core/aape.hpp"
+#include "core/payload_exchange.hpp"
+#include "core/wire_buffer.hpp"
+#include "runtime/journal.hpp"
+#include "svc/session.hpp"
+
+namespace torex {
+
+/// One session's exchange, executable one phase at a time. The service
+/// payload is fixed to one machine word.
+class SessionExchange {
+ public:
+  /// Seeds the canonical parcel buffers from `send` (must be N x N for
+  /// the schedule's node count) and binds a fresh per-session journal.
+  /// `algo` and `arena` must outlive the exchange; `max_leased_frames`
+  /// is the tenant's arena-frame quota (0 = unlimited).
+  SessionExchange(SessionId id, const SuhShinAape& algo,
+                  const std::vector<std::vector<std::int64_t>>& send, WireArena& arena,
+                  std::int64_t max_leased_frames);
+
+  int num_phases() const { return algo_->num_phases(); }
+  int phases_done() const { return phases_done_; }
+  bool complete() const { return phases_done_ == num_phases(); }
+  std::int64_t sent_parcels() const { return sent_parcels_; }
+  /// Most arena frames this session held leased at once.
+  std::int64_t peak_leased_frames() const { return peak_leased_; }
+  const ExchangeJournal& journal() const { return journal_; }
+
+  /// Executes the next phase's steps. Throws ExchangeCancelledError
+  /// when `cancel` is observed at a step boundary or in the
+  /// flush/commit window, ExchangeCrashError / SessionIntegrityError /
+  /// SessionQuotaError per `inject` and the frame quota. After a throw
+  /// the exchange is dead (the journal keeps everything flushed so
+  /// far); the manager retires the session.
+  void run_phase(const std::atomic<bool>* cancel, const SessionInjection& inject);
+
+  /// recv[q][p] = send[p][q]; requires complete(). Consumes the
+  /// buffers.
+  std::vector<std::vector<std::int64_t>> take_result();
+
+ private:
+  SessionId id_;
+  const SuhShinAape* algo_;
+  WireArena* arena_;
+  std::int64_t frame_quota_;
+  ParcelBuffers<std::int64_t> buffers_;
+  ParcelBuffers<std::int64_t> inbox_;
+  ExchangeJournal journal_;
+  std::int64_t flat_step_ = 0;  // 0-based global step index
+  int phases_done_ = 0;
+  std::int64_t sent_parcels_ = 0;
+  std::int64_t peak_leased_ = 0;
+};
+
+}  // namespace torex

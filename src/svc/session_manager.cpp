@@ -1,0 +1,379 @@
+#include "svc/session_manager.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "runtime/watchdog.hpp"
+#include "util/assert.hpp"
+
+namespace torex {
+
+void SessionManagerOptions::validate() const {
+  TOREX_REQUIRE(max_active >= 1, "session manager needs at least one active slot");
+  TOREX_REQUIRE(max_queued >= 1, "session manager needs at least one queue slot");
+  TOREX_REQUIRE(block_bytes >= 1, "block size must be positive");
+  for (const auto& [tenant, quota] : quotas) {
+    TOREX_REQUIRE(quota.max_parcel_bytes >= 0 && quota.max_arena_frames >= 0 &&
+                      quota.max_sessions_in_flight >= 0,
+                  "tenant quotas must be non-negative (tenant " + tenant + ")");
+  }
+}
+
+SessionManager::SessionManager(TorusShape shape, CostParams params, SessionManagerOptions options)
+    : shape_(shape),
+      schedule_(shape),
+      comm_(shape, params),
+      options_(std::move(options)) {
+  options_.validate();
+  obs_ = options_.obs != nullptr && options_.obs->enabled() ? options_.obs : nullptr;
+  phase_cost_ = comm_.phase_cost(options_.block_bytes);
+}
+
+double SessionManager::now() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return vclock_;
+}
+
+std::int64_t SessionManager::sessions() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return static_cast<std::int64_t>(slots_.size());
+}
+
+SessionId SessionManager::submit(SessionRequest request) {
+  TOREX_REQUIRE(request.weight >= 1, "session weight must be positive");
+  TOREX_REQUIRE(request.arrival >= 0.0, "session arrival must be non-negative");
+  TOREX_REQUIRE(request.deadline >= 0.0, "session deadline must be non-negative");
+  std::lock_guard<std::mutex> lk(mu_);
+  const SessionId id = static_cast<SessionId>(slots_.size());
+  auto s = std::make_unique<Slot>();
+  s->record.id = id;
+  s->record.tenant = request.tenant;
+  s->record.weight = request.weight;
+  s->record.arrival = request.arrival;
+  s->record.deadline_at = request.deadline > 0.0 ? request.arrival + request.deadline : 0.0;
+  s->record.state = SessionState::kQueued;
+  s->cancel_flag = std::make_shared<std::atomic<bool>>(false);
+  s->request = std::move(request);
+  slots_.push_back(std::move(s));
+  pending_arrivals_.push_back(id);
+  ++stats_.offered;
+  if (obs_ != nullptr) obs_->metrics().counter("svc.offered").add();
+  return id;
+}
+
+SessionManager::Slot& SessionManager::slot(SessionId id) {
+  TOREX_REQUIRE(id >= 0 && id < static_cast<SessionId>(slots_.size()), "unknown session id");
+  return *slots_[static_cast<std::size_t>(id)];
+}
+
+const SessionManager::Slot& SessionManager::slot(SessionId id) const {
+  TOREX_REQUIRE(id >= 0 && id < static_cast<SessionId>(slots_.size()), "unknown session id");
+  return *slots_[static_cast<std::size_t>(id)];
+}
+
+std::shared_ptr<std::atomic<bool>> SessionManager::cancel_handle(SessionId id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  return slot(id).cancel_flag;
+}
+
+void SessionManager::cancel(SessionId id) {
+  cancel_handle(id)->store(true, std::memory_order_relaxed);
+}
+
+void SessionManager::set_queue_gauges() {
+  if (obs_ == nullptr) return;
+  MetricsRegistry& m = obs_->metrics();
+  m.gauge("svc.active_sessions").set(static_cast<std::int64_t>(running_.size()));
+  m.gauge("svc.queued_sessions").set(static_cast<std::int64_t>(queue_.size()));
+  for (const auto& [tenant, depth] : tenant_queued_) {
+    m.gauge("svc.queue_depth." + tenant).set(depth);
+  }
+}
+
+void SessionManager::retire_queued(Slot& s, SessionState state, RejectReason reason,
+                                   const std::string& error) {
+  s.record.state = state;
+  s.record.reject_reason = reason;
+  s.record.finished_at = vclock_;
+  s.record.error = error;
+  s.request.send.clear();
+  s.request.send.shrink_to_fit();
+  switch (state) {
+    case SessionState::kRejected:
+      ++stats_.rejected;
+      if (obs_ != nullptr) {
+        obs_->instant("svc.reject", static_cast<std::int32_t>(s.record.id));
+        obs_->metrics().counter("svc.rejected").add();
+      }
+      break;
+    case SessionState::kDeadlineMissed:
+      ++stats_.deadline_missed_queued;
+      if (obs_ != nullptr) {
+        obs_->instant("svc.deadline_miss", static_cast<std::int32_t>(s.record.id));
+        obs_->metrics().counter("svc.deadline_missed").add();
+      }
+      break;
+    case SessionState::kCancelled:
+      ++stats_.cancelled_queued;
+      if (obs_ != nullptr) obs_->metrics().counter("svc.cancelled").add();
+      break;
+    default:
+      TOREX_UNREACHABLE();
+  }
+}
+
+void SessionManager::retire_running(Slot& s, SessionState state, const std::string& error) {
+  const auto it = std::find(running_.begin(), running_.end(), s.record.id);
+  TOREX_CHECK(it != running_.end(), "retiring a session that is not running");
+  running_.erase(it);
+  --tenant_running_[s.record.tenant];
+  s.record.state = state;
+  s.record.finished_at = vclock_;
+  s.record.error = error;
+  if (s.exchange) s.record.sent_parcels = s.exchange->sent_parcels();
+  switch (state) {
+    case SessionState::kCompleted: {
+      s.result = s.exchange->take_result();
+      s.has_result = true;
+      ++stats_.completed;
+      const auto n = static_cast<std::int64_t>(size());
+      stats_.parcels_delivered += n * n;
+      if (obs_ != nullptr) obs_->metrics().counter("svc.completed").add();
+      break;
+    }
+    case SessionState::kDeadlineMissed:
+      ++stats_.deadline_missed_running;
+      if (obs_ != nullptr) {
+        obs_->instant("svc.deadline_miss", static_cast<std::int32_t>(s.record.id));
+        obs_->metrics().counter("svc.deadline_missed").add();
+      }
+      break;
+    case SessionState::kFailed:
+      ++stats_.failed;
+      if (obs_ != nullptr) {
+        obs_->instant("svc.session_failed", static_cast<std::int32_t>(s.record.id));
+        obs_->metrics().counter("svc.failed").add();
+      }
+      break;
+    case SessionState::kCancelled:
+      ++stats_.cancelled;
+      if (obs_ != nullptr) obs_->metrics().counter("svc.cancelled").add();
+      break;
+    default:
+      TOREX_UNREACHABLE();
+  }
+  set_queue_gauges();
+}
+
+void SessionManager::process_arrivals() {
+  while (!pending_arrivals_.empty()) {
+    const SessionId id = pending_arrivals_.front();
+    Slot& s = slot(id);
+    if (s.record.arrival > vclock_) break;
+    pending_arrivals_.pop_front();
+
+    const Rank N = size();
+    bool well_formed = static_cast<Rank>(s.request.send.size()) == N;
+    for (const auto& row : s.request.send) {
+      well_formed = well_formed && static_cast<Rank>(row.size()) == N;
+    }
+    if (!well_formed) {
+      retire_queued(s, SessionState::kRejected, RejectReason::kMalformedRequest,
+                    "send matrix is not N x N");
+      continue;
+    }
+    const auto quota_it = options_.quotas.find(s.record.tenant);
+    if (quota_it != options_.quotas.end() && quota_it->second.max_parcel_bytes > 0) {
+      const std::int64_t bytes = static_cast<std::int64_t>(N) * N *
+                                 static_cast<std::int64_t>(sizeof(std::int64_t));
+      if (bytes > quota_it->second.max_parcel_bytes) {
+        retire_queued(s, SessionState::kRejected, RejectReason::kParcelBytesQuota,
+                      "session payload of " + std::to_string(bytes) +
+                          " bytes exceeds the tenant quota of " +
+                          std::to_string(quota_it->second.max_parcel_bytes));
+        continue;
+      }
+    }
+    if (static_cast<int>(queue_.size()) >= options_.max_queued) {
+      // Overload: shed the oldest queued session, loudly, and keep the
+      // newcomer — deterministic oldest-queued-first degradation.
+      Slot& oldest = slot(queue_.front());
+      queue_.pop_front();
+      --tenant_queued_[oldest.record.tenant];
+      retire_queued(oldest, SessionState::kRejected, RejectReason::kQueueFull,
+                    "shed oldest-queued under overload");
+      if (obs_ != nullptr) obs_->instant("svc.shed", static_cast<std::int32_t>(oldest.record.id));
+    }
+    queue_.push_back(id);
+    ++tenant_queued_[s.record.tenant];
+  }
+  set_queue_gauges();
+}
+
+void SessionManager::promote() {
+  while (static_cast<int>(running_.size()) < options_.max_active && !queue_.empty()) {
+    // First queued session whose tenant is under its in-flight cap;
+    // expired or cancelled ones retire on the way.
+    bool promoted = false;
+    for (auto it = queue_.begin(); it != queue_.end();) {
+      Slot& s = slot(*it);
+      if (s.cancel_flag->load(std::memory_order_relaxed)) {
+        --tenant_queued_[s.record.tenant];
+        it = queue_.erase(it);
+        retire_queued(s, SessionState::kCancelled, RejectReason::kNone,
+                      "cancelled while queued");
+        continue;
+      }
+      if (s.record.deadline_at > 0.0 && s.record.deadline_at <= vclock_) {
+        --tenant_queued_[s.record.tenant];
+        it = queue_.erase(it);
+        retire_queued(s, SessionState::kDeadlineMissed, RejectReason::kNone,
+                      "deadline expired in queue at t=" + std::to_string(vclock_));
+        continue;
+      }
+      const auto quota_it = options_.quotas.find(s.record.tenant);
+      const int cap =
+          quota_it != options_.quotas.end() ? quota_it->second.max_sessions_in_flight : 0;
+      if (cap > 0 && tenant_running_[s.record.tenant] >= cap) {
+        ++it;  // this tenant waits; later tenants may still promote
+        continue;
+      }
+      const std::int64_t frame_quota =
+          quota_it != options_.quotas.end() ? quota_it->second.max_arena_frames : 0;
+      s.exchange = std::make_unique<SessionExchange>(s.record.id, schedule_, s.request.send,
+                                                     arena_, frame_quota);
+      s.request.send.clear();
+      s.request.send.shrink_to_fit();
+      s.record.state = SessionState::kRunning;
+      s.record.admitted_at = vclock_;
+      s.vfinish = vclock_ + phase_cost_ / static_cast<double>(s.record.weight);
+      --tenant_queued_[s.record.tenant];
+      it = queue_.erase(it);
+      running_.push_back(s.record.id);
+      ++tenant_running_[s.record.tenant];
+      ++stats_.admitted;
+      if (obs_ != nullptr) {
+        obs_->instant("svc.admit", static_cast<std::int32_t>(s.record.id));
+        obs_->metrics().counter("svc.admitted").add();
+      }
+      promoted = true;
+      break;
+    }
+    if (!promoted) break;
+  }
+  set_queue_gauges();
+}
+
+SessionManager::Slot* SessionManager::pick_fairest() {
+  Slot* best = nullptr;
+  for (const SessionId id : running_) {
+    Slot& s = slot(id);
+    if (best == nullptr || s.vfinish < best->vfinish ||
+        (s.vfinish == best->vfinish && s.record.id < best->record.id)) {
+      best = &s;
+    }
+  }
+  return best;
+}
+
+bool SessionManager::run_one() {
+  std::lock_guard<std::mutex> lk(mu_);
+  process_arrivals();
+  promote();
+
+  if (running_.empty()) {
+    if (pending_arrivals_.empty()) {
+      TOREX_CHECK(queue_.empty(), "scheduler wedged: queued sessions with an idle engine");
+      return false;
+    }
+    // Idle until the next arrival: jump the virtual clock to it.
+    vclock_ = std::max(vclock_, slot(pending_arrivals_.front()).record.arrival);
+    return true;
+  }
+
+  Slot* s = pick_fairest();
+  TOREX_CHECK(s != nullptr, "runnable set empty after promote");
+
+  if (s->record.deadline_at > 0.0 && s->record.deadline_at <= vclock_) {
+    // Mid-run expiry: enforce through the cancel machinery and retire.
+    s->cancel_flag->store(true, std::memory_order_relaxed);
+    retire_running(*s, SessionState::kDeadlineMissed,
+                   "deadline expired mid-run after " +
+                       std::to_string(s->exchange->phases_done()) + " phase(s)");
+    return true;
+  }
+  if (s->request.inject.cancel_after_phases >= 0 &&
+      s->exchange->phases_done() >= s->request.inject.cancel_after_phases) {
+    s->cancel_flag->store(true, std::memory_order_relaxed);
+  }
+
+  const int phase = s->exchange->phases_done() + 1;
+  try {
+    SpanGuard phase_span(obs_, "svc.phase", static_cast<std::int32_t>(s->record.id), phase);
+    s->exchange->run_phase(s->cancel_flag.get(), s->request.inject);
+    ++stats_.phases_executed;
+    if (obs_ != nullptr) obs_->metrics().counter("svc.phases").add();
+    s->record.phases_done = s->exchange->phases_done();
+    s->record.sent_parcels = s->exchange->sent_parcels();
+    vclock_ += phase_cost_;
+    s->vfinish += phase_cost_ / static_cast<double>(s->record.weight);
+    if (s->exchange->complete()) {
+      retire_running(*s, SessionState::kCompleted, "");
+    }
+  } catch (const ExchangeCancelledError& error) {
+    // Charge the attempted phase either way: the engine burned time on
+    // it, and determinism wants the clock independent of how far the
+    // phase got before the flag was seen.
+    vclock_ += phase_cost_;
+    retire_running(*s, SessionState::kCancelled, error.what());
+  } catch (const std::exception& error) {
+    // Crash injection, corruption refusal, quota breach, or any other
+    // session-local defect: the session dies, the engine moves on.
+    vclock_ += phase_cost_;
+    retire_running(*s, SessionState::kFailed, error.what());
+  }
+  return true;
+}
+
+void SessionManager::run_until_idle() {
+  while (run_one()) {
+  }
+}
+
+SessionRecord SessionManager::record(SessionId id) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return slot(id).record;
+}
+
+SvcStats SessionManager::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+std::vector<std::vector<std::int64_t>> SessionManager::take_result(SessionId id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Slot& s = slot(id);
+  TOREX_REQUIRE(s.record.state == SessionState::kCompleted, "session has no result to take");
+  TOREX_REQUIRE(s.has_result, "session result already taken");
+  s.has_result = false;
+  return std::move(s.result);
+}
+
+ExchangeJournal SessionManager::journal(SessionId id) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const Slot& s = slot(id);
+  TOREX_REQUIRE(s.exchange != nullptr, "session was never admitted; no journal exists");
+  return s.exchange->journal();
+}
+
+WirePoolStats SessionManager::wire_stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return arena_.stats();
+}
+
+std::int64_t SessionManager::outstanding_frames() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return arena_.stats().outstanding_frames();
+}
+
+}  // namespace torex

@@ -1,0 +1,168 @@
+// torexd: the session-multiplexing service over one shared engine.
+//
+// One SessionManager owns one torus, one cost model, one Suh-Shin
+// schedule, and one WireArena, and multiplexes many tenants' exchanges
+// over them:
+//
+//  * Admission control — at most `max_active` sessions execute
+//    concurrently and at most `max_queued` wait; overload sheds
+//    deterministically, oldest-queued-first, each shed session retiring
+//    as kRejected with a reason (never a silent drop). Tenant byte
+//    quotas reject oversized sessions at the door.
+//  * Weighted-fair phase scheduling — admitted sessions take turns one
+//    *phase* at a time: each session carries a virtual finish time,
+//    advanced by phase_cost / weight per executed phase (the classic
+//    WFQ virtual clock, priced by the paper's cost model), and the
+//    runnable session with the smallest finish time goes next. Links
+//    and arena frames never idle waiting for one session to finish
+//    end-to-end.
+//  * Deadline scheduling — a session's deadline is an absolute point on
+//    the manager's virtual clock. Expiry in the queue retires it
+//    unadmitted; expiry mid-run fires its cooperative cancel flag at
+//    the next dispatch, reusing the watchdog/cancel machinery.
+//  * Isolation — each session has its own journal, parcels, and cancel
+//    flag; a crash, corruption storm, or quota breach unwinds through
+//    RAII (frames back to the arena, exception recorded on the session)
+//    and the scheduler simply moves to the next tenant. Blast radius of
+//    a failing session is exactly that session.
+//
+// Concurrency contract: submit / cancel / cancel_handle / record /
+// stats are thread-safe (one manager mutex). run_one / run_until_idle
+// execute sessions under the same mutex — call them from one driver
+// thread; submitters and cancellers may run concurrently against it.
+// Cancel flags obtained via cancel_handle() may be flipped at any time
+// without the lock; running sessions poll them at step boundaries.
+//
+// Time is virtual throughout (cost-model units): arrivals, deadlines,
+// and latencies are all modeled, so every schedule decision is
+// reproducible from the seed — wall clock never influences ordering.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/aape.hpp"
+#include "core/wire_buffer.hpp"
+#include "costmodel/params.hpp"
+#include "obs/recorder.hpp"
+#include "runtime/communicator.hpp"
+#include "svc/session.hpp"
+#include "svc/session_exchange.hpp"
+
+namespace torex {
+
+/// Manager-wide tuning. validate() rejects non-positive bounds.
+struct SessionManagerOptions {
+  /// Concurrently executing sessions (the admission bound).
+  int max_active = 8;
+  /// Bounded waiting room; an arrival beyond it sheds the oldest
+  /// queued session (kRejected / kQueueFull).
+  int max_queued = 64;
+  /// Block size the cost model prices phases with.
+  std::int64_t block_bytes = static_cast<std::int64_t>(sizeof(std::int64_t));
+  /// Per-tenant quotas; tenants absent from the map are unlimited.
+  std::map<std::string, TenantQuota> quotas;
+  /// Optional telemetry: svc.* counters/gauges and per-phase spans.
+  Recorder* obs = nullptr;
+
+  void validate() const;
+};
+
+/// The torexd service core. See the file comment for semantics.
+class SessionManager {
+ public:
+  SessionManager(TorusShape shape, CostParams params, SessionManagerOptions options = {});
+
+  Rank size() const { return schedule_.shape().num_nodes(); }
+  /// Modeled cost of one phase — the WFQ price and deadline unit.
+  double phase_cost() const { return phase_cost_; }
+  /// Current virtual time.
+  double now() const;
+
+  /// Registers a session (thread-safe). The request is validated and
+  /// admitted (or shed) when the virtual clock reaches its arrival.
+  /// Arrivals are processed in submission order.
+  SessionId submit(SessionRequest request);
+
+  /// The session's cooperative cancel flag; safe to set from any
+  /// thread at any time. The session observes it at its next step
+  /// boundary (running) or dispatch (queued).
+  std::shared_ptr<std::atomic<bool>> cancel_handle(SessionId id);
+  /// Sets the flag (thread-safe convenience).
+  void cancel(SessionId id);
+
+  /// One scheduling decision: process due arrivals, promote from the
+  /// queue, then run one phase of the fairest runnable session (or
+  /// advance the clock to the next arrival). Returns false when fully
+  /// idle — no pending arrivals, nothing queued, nothing running.
+  bool run_one();
+  /// Drives run_one() until idle.
+  void run_until_idle();
+
+  /// Copy of a session's observable state (thread-safe).
+  SessionRecord record(SessionId id) const;
+  /// Disposition accounting (thread-safe).
+  SvcStats stats() const;
+  /// Number of sessions submitted so far.
+  std::int64_t sessions() const;
+
+  /// Moves a completed session's recv matrix out (recv[q][p] ==
+  /// send[p][q]). Requires state kCompleted; a second take throws.
+  std::vector<std::vector<std::int64_t>> take_result(SessionId id);
+
+  /// A completed/failed session's journal (for resume and post-mortem;
+  /// copies under the lock).
+  ExchangeJournal journal(SessionId id) const;
+
+  /// Shared arena statistics; outstanding_frames() must be zero
+  /// whenever no phase is mid-flight (asserted by tests at teardown).
+  WirePoolStats wire_stats() const;
+  std::int64_t outstanding_frames() const;
+
+ private:
+  struct Slot {
+    SessionRecord record;
+    SessionRequest request;  ///< send released once the exchange is built
+    std::unique_ptr<SessionExchange> exchange;
+    std::shared_ptr<std::atomic<bool>> cancel_flag;
+    double vfinish = 0.0;  ///< WFQ virtual finish time of the next phase
+    std::vector<std::vector<std::int64_t>> result;
+    bool has_result = false;
+  };
+
+  // All of the below require mu_ held.
+  Slot& slot(SessionId id);
+  const Slot& slot(SessionId id) const;
+  void process_arrivals();
+  void promote();
+  void retire_queued(Slot& s, SessionState state, RejectReason reason, const std::string& error);
+  void retire_running(Slot& s, SessionState state, const std::string& error);
+  void set_queue_gauges();
+  Slot* pick_fairest();
+
+  TorusShape shape_;
+  SuhShinAape schedule_;
+  TorusCommunicator comm_;
+  SessionManagerOptions options_;
+  Recorder* obs_ = nullptr;
+  double phase_cost_ = 0.0;
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::deque<SessionId> pending_arrivals_;  ///< submitted, awaiting admission
+  std::deque<SessionId> queue_;             ///< the bounded waiting room
+  std::vector<SessionId> running_;
+  std::map<std::string, int> tenant_running_;
+  std::map<std::string, int> tenant_queued_;
+  double vclock_ = 0.0;
+  SvcStats stats_;
+  WireArena arena_;  ///< shared frame pool, one per service
+};
+
+}  // namespace torex

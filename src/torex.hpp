@@ -36,6 +36,9 @@
 #include "sim/fault_model.hpp"
 #include "sim/trace_export.hpp"
 #include "sim/wormhole.hpp"
+#include "svc/session.hpp"
+#include "svc/session_exchange.hpp"
+#include "svc/session_manager.hpp"
 #include "topology/group.hpp"
 #include "topology/shape.hpp"
 #include "topology/torus.hpp"

@@ -503,6 +503,53 @@ TEST(FailureDetectorTest, SuspicionTickMatchesThreshold) {
   EXPECT_TRUE(detector.suspect(1, predicted));
 }
 
+TEST(FailureDetectorTest, WarmupSeedsStopEarlyGapCollapse) {
+  // Regression: with an empty window, the first one or two observed
+  // gaps *are* the estimate. A node whose first beats arrived
+  // atypically close (a scheduling hiccup, not a fast cadence) had its
+  // mean collapse to that tiny gap and was suspected a few dozen ticks
+  // later despite beating on schedule. The warm-up seeds pin the early
+  // mean near the configured cadence until real samples displace them.
+  FailureDetectorOptions options;
+  options.heartbeat_interval = 4;
+  HeartbeatFailureDetector seeded(1, options);
+  seeded.heartbeat(0, 0);
+  seeded.heartbeat(0, 2);  // one atypically quick early gap
+  // Unseeded, the mean is 2 and suspicion lands near tick 39; seeded
+  // (8 samples of 4 plus the observed 2) it lands past tick 70.
+  EXPECT_FALSE(seeded.suspect(0, 45));
+  EXPECT_GT(seeded.suspicion_tick(0), 70);
+  EXPECT_TRUE(seeded.suspect(0, 100));
+
+  FailureDetectorOptions legacy = options;
+  legacy.warmup_samples = 0;
+  HeartbeatFailureDetector unseeded(1, legacy);
+  unseeded.heartbeat(0, 0);
+  unseeded.heartbeat(0, 2);
+  EXPECT_TRUE(unseeded.suspect(0, 45)) << "warmup_samples=0 must restore the legacy estimate";
+
+  FailureDetectorOptions bad = options;
+  bad.warmup_samples = -1;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+}
+
+TEST(FailureDetectorTest, WarmupSeedsAgeOutOfTheWindow) {
+  // The seeds are a prior, not a bias: once the ring fills with real
+  // gaps and wraps, the estimate is driven by observed cadence alone.
+  FailureDetectorOptions options;
+  options.heartbeat_interval = 4;
+  options.window = 8;
+  options.warmup_samples = 8;
+  HeartbeatFailureDetector detector(1, options);
+  // A node that actually beats every 2 ticks: after enough beats the
+  // seeds (all 4s) are overwritten and the mean settles at 2.
+  for (std::int64_t t = 0; t <= 40; t += 2) detector.heartbeat(0, t);
+  // suspicion_tick = last + ceil(threshold * mean * ln 10); mean 2
+  // gives 40 + 37 = 77, mean 4 would give 40 + 74 = 114.
+  EXPECT_LT(detector.suspicion_tick(0), 85);
+  EXPECT_TRUE(detector.suspect(0, 85));
+}
+
 TEST(FailureDetectorTest, ObserveHeartbeatsSuspectsCrashedNodes) {
   const TorusShape shape({4, 4});
   const Torus torus(shape);

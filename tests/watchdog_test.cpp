@@ -289,5 +289,97 @@ TEST(StepSyncWatchdogTest, SuspectProbeAbortsBeforeStallDeadline) {
   }
 }
 
+// --- Absolute run deadline ---------------------------------------------
+
+TEST(ParallelWatchdogTest, RunDeadlineBecomesDeadlineExceededError) {
+  // A worker that keeps making *some* progress never trips the stall
+  // watchdog; the absolute run deadline is the bound that still fires.
+  // Here the wedge is total but the stall deadline is parked far away,
+  // so only the run deadline can end the run.
+  const SuhShinAape algo(TorusShape({4, 4}));
+  ParallelOptions options;
+  options.num_threads = 2;
+  options.stall_deadline = 30s;
+  options.run_deadline = 200ms;
+  options.before_send_hook = [](int phase, int step, Rank node, const std::atomic<bool>& cancel) {
+    if (phase == 3 && step == 1 && node == 4) {
+      while (!cancel.load()) std::this_thread::sleep_for(1ms);
+    }
+  };
+  ParallelExchange parallel(algo, options);
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    parallel.run_verified();
+    FAIL() << "exhausted run budget must raise DeadlineExceededError";
+  } catch (const DeadlineExceededError& e) {
+    EXPECT_EQ(e.phase(), 3);
+    EXPECT_EQ(e.step(), 1);
+    EXPECT_NE(std::string(e.what()).find("200 ms"), std::string::npos);
+  }
+  EXPECT_LT(std::chrono::steady_clock::now() - start, 10s)
+      << "the run deadline, not the stall deadline or ctest, must end the run";
+}
+
+TEST(ParallelWatchdogTest, RunDeadlineDoesNotFireOnHealthyRuns) {
+  const SuhShinAape algo(TorusShape({4, 4}));
+  ParallelOptions options;
+  options.num_threads = 2;
+  options.run_deadline = 30000ms;
+  ParallelExchange parallel(algo, options);
+  const ExchangeTrace trace = parallel.run_verified();
+  EXPECT_EQ(static_cast<std::int64_t>(trace.steps.size()), algo.total_steps());
+}
+
+// --- Cancel isolation across concurrent sessions -----------------------
+
+TEST(ParallelWatchdogTest, ConcurrentSessionsCancelIsolation) {
+  // Two independent runs share the process (and the cancel machinery's
+  // code paths) on concurrent threads; cancelling one must not be
+  // observable from the other. Regression guard for any future global
+  // state sneaking into the cancel plumbing.
+  const SuhShinAape algo(TorusShape({8, 4}));
+  std::atomic<bool> cancel_a{false};
+  std::atomic<bool> unused_b{false};
+
+  std::exception_ptr error_a;
+  std::exception_ptr error_b;
+  std::optional<ExchangeTrace> trace_b;
+
+  std::thread session_a([&] {
+    ParallelOptions options;
+    options.num_threads = 2;
+    options.cancel = &cancel_a;
+    options.before_send_hook = [&](int phase, int, Rank, const std::atomic<bool>&) {
+      if (phase == 2) cancel_a.store(true);
+    };
+    try {
+      ParallelExchange parallel(algo, options);
+      parallel.run_verified();
+    } catch (...) {
+      error_a = std::current_exception();
+    }
+  });
+  std::thread session_b([&] {
+    ParallelOptions options;
+    options.num_threads = 2;
+    options.cancel = &unused_b;
+    try {
+      ParallelExchange parallel(algo, options);
+      trace_b = parallel.run_verified();
+    } catch (...) {
+      error_b = std::current_exception();
+    }
+  });
+  session_a.join();
+  session_b.join();
+
+  ASSERT_TRUE(error_a != nullptr) << "session A must unwind as cancelled";
+  EXPECT_THROW(std::rethrow_exception(error_a), ExchangeCancelledError);
+  ASSERT_TRUE(error_b == nullptr) << "session B must not observe A's cancel";
+  ASSERT_TRUE(trace_b.has_value());
+  EXPECT_EQ(static_cast<std::int64_t>(trace_b->steps.size()), algo.total_steps());
+  EXPECT_FALSE(unused_b.load()) << "B's flag must never flip";
+}
+
 }  // namespace
 }  // namespace torex

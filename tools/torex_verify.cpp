@@ -2,7 +2,8 @@
 //
 //   ./torex_verify [--max-nodes=800] [--max-dims=4] [--flit-level]
 //                  [--layout] [--static-nodes=0] [--faults=0]
-//                  [--chaos=0] [--seed=0] [--trace=FILE]
+//                  [--chaos=0] [--kill-rate=0] [--sessions=0]
+//                  [--seed=0] [--trace=FILE]
 //
 // Enumerates every valid torus shape (extents multiples of four, sorted
 // non-increasing) up to the node budget and dimension cap, and runs the
@@ -24,6 +25,12 @@
 //     exchange and compared against the sequential oracle. Every run
 //     must either match the oracle exactly or end in a *detected,
 //     attributed* failure — one silently wrong element fails the sweep.
+//   * optionally (--sessions=K) a multi-session kill-one-tenant sweep:
+//     K sessions share one torexd SessionManager, one victim per round
+//     carries a rotating failure mode (journal-window crash, corrupted
+//     wire frame, arena frame quota of one, mid-run cancel), and every
+//     survivor must complete byte-identical to the oracle with exactly
+//     the single-session parcel count — zero cross-session blast radius.
 // --seed=S perturbs every seeded sweep (faults and chaos) and is echoed
 // in the report so failures are reproducible. Exits non-zero on the
 // first failure. This is the tool to run after touching the pattern or
@@ -49,6 +56,7 @@
 #include "sim/contention.hpp"
 #include "sim/fault_model.hpp"
 #include "sim/wormhole.hpp"
+#include "svc/session_manager.hpp"
 #include "util/cli.hpp"
 #include "util/prng.hpp"
 
@@ -370,6 +378,166 @@ bool kill_resume_sweep(const TorusShape& shape, int runs, int kill_rate,
   return true;
 }
 
+/// The oracle payload node p sends node q in svc-chaos session `id`.
+std::int64_t svc_payload(SessionId id, Rank N, Rank p, Rank q) {
+  return (id + 1) * 1'000'003 + static_cast<std::int64_t>(p) * N + q;
+}
+
+/// Multi-session kill-one-tenant sweep over one shape: `sessions_k`
+/// concurrent sessions share one SessionManager with generous limits
+/// (nothing should queue out or miss a deadline), and each round one
+/// victim session carries a rotating failure mode — a crash in the
+/// journal's flush/commit window, a corrupted wire frame, an arena
+/// frame quota of one, or a mid-run cooperative cancel. The property
+/// under test is zero cross-session blast radius:
+///   * every survivor completes with a recv matrix byte-identical to
+///     the transpose oracle;
+///   * every survivor's sent-parcel count equals the single-session
+///     baseline (the multi-session path is pinned to the
+///     single-session report — interleaving moves no extra parcels);
+///   * zero AdmissionRejected and zero deadline misses are attributable
+///     to the victim (the limits make any nonzero count a leak);
+///   * the victim retires as kFailed (or kCancelled for the cancel
+///     mode) with a non-empty diagnostic;
+///   * the shared arena reports zero outstanding frames afterwards.
+bool svc_chaos_sweep(const TorusShape& shape, int sessions_k, std::uint64_t base_seed) {
+  const Rank N = shape.num_nodes();
+  // Early Suh-Shin phases can be empty (zero steps) on small extents;
+  // the crash/corruption seams live inside the step loop, so pin the
+  // injection to the first phase that actually moves parcels.
+  int inject_phase = 0;
+  {
+    const SuhShinAape algo(shape);
+    for (int phase = 1; phase <= algo.num_phases(); ++phase) {
+      if (algo.steps_in_phase(phase) > 0) {
+        inject_phase = phase;
+        break;
+      }
+    }
+  }
+  const auto make_send = [&](SessionId id) {
+    std::vector<std::vector<std::int64_t>> send(static_cast<std::size_t>(N));
+    for (Rank p = 0; p < N; ++p) {
+      auto& row = send[static_cast<std::size_t>(p)];
+      row.reserve(static_cast<std::size_t>(N));
+      for (Rank q = 0; q < N; ++q) row.push_back(svc_payload(id, N, p, q));
+    }
+    return send;
+  };
+  const auto matches_oracle = [&](SessionId id,
+                                  const std::vector<std::vector<std::int64_t>>& recv) {
+    for (Rank q = 0; q < N; ++q) {
+      for (Rank p = 0; p < N; ++p) {
+        if (recv[static_cast<std::size_t>(q)][static_cast<std::size_t>(p)] !=
+            svc_payload(id, N, p, q)) {
+          return false;
+        }
+      }
+    }
+    return true;
+  };
+
+  // Single-session baseline: fixes the per-session sent-parcel count
+  // every multi-session survivor must reproduce exactly.
+  std::int64_t baseline_sent = 0;
+  {
+    SessionManagerOptions options;
+    options.max_active = 1;
+    options.max_queued = 1;
+    SessionManager mgr(shape, CostParams{}, options);
+    SessionRequest req;
+    req.send = make_send(0);
+    mgr.submit(std::move(req));
+    mgr.run_until_idle();
+    const SessionRecord rec = mgr.record(0);
+    if (rec.state != SessionState::kCompleted || !matches_oracle(0, mgr.take_result(0))) {
+      std::cerr << "FAIL " << shape.to_string() << ": single-session baseline broke\n";
+      return false;
+    }
+    baseline_sent = rec.sent_parcels;
+  }
+
+  struct Mode {
+    const char* name;
+    SessionState expected;
+  };
+  const std::vector<Mode> modes{{"crash", SessionState::kFailed},
+                                {"corrupt", SessionState::kFailed},
+                                {"frame-quota", SessionState::kFailed},
+                                {"cancel", SessionState::kCancelled}};
+  for (std::size_t round = 0; round < modes.size(); ++round) {
+    const Mode& mode = modes[round];
+    SessionManagerOptions options;
+    options.max_active = sessions_k;
+    options.max_queued = sessions_k;
+    options.quotas["victim"].max_arena_frames = 1;
+    SessionManager mgr(shape, CostParams{}, options);
+    const auto victim = static_cast<SessionId>((base_seed + round) %
+                                               static_cast<std::uint64_t>(sessions_k));
+    for (SessionId id = 0; id < sessions_k; ++id) {
+      SessionRequest req;
+      req.tenant = id == victim && std::string(mode.name) == "frame-quota"
+                       ? "victim"
+                       : "t" + std::to_string(id % 3);
+      req.weight = static_cast<int>(1 + id % 3);
+      req.send = make_send(id);
+      if (id == victim) {
+        if (std::string(mode.name) == "crash") req.inject.crash_phase = inject_phase;
+        if (std::string(mode.name) == "corrupt") req.inject.corrupt_phase = inject_phase;
+        if (std::string(mode.name) == "cancel") req.inject.cancel_after_phases = 1;
+      }
+      mgr.submit(std::move(req));
+    }
+    mgr.run_until_idle();
+
+    const SvcStats stats = mgr.stats();
+    if (stats.rejected != 0 || stats.deadline_missed() != 0 || stats.cancelled_queued != 0) {
+      std::cerr << "FAIL " << shape.to_string() << ": svc chaos mode " << mode.name
+                << " leaked blast radius into admission (" << stats.rejected << " rejected, "
+                << stats.deadline_missed() << " deadline misses)\n";
+      return false;
+    }
+    for (SessionId id = 0; id < sessions_k; ++id) {
+      const SessionRecord rec = mgr.record(id);
+      if (id == victim) {
+        if (rec.state != mode.expected || rec.error.empty()) {
+          std::cerr << "FAIL " << shape.to_string() << ": victim of mode " << mode.name
+                    << " retired as " << to_string(rec.state) << " (error: \"" << rec.error
+                    << "\"), expected " << to_string(mode.expected) << " with a diagnostic\n";
+          return false;
+        }
+        continue;
+      }
+      if (rec.state != SessionState::kCompleted) {
+        std::cerr << "FAIL " << shape.to_string() << ": survivor " << id << " of mode "
+                  << mode.name << " retired as " << to_string(rec.state) << " (" << rec.error
+                  << ") — the victim's failure escaped its session\n";
+        return false;
+      }
+      if (rec.sent_parcels != baseline_sent) {
+        std::cerr << "FAIL " << shape.to_string() << ": survivor " << id << " of mode "
+                  << mode.name << " sent " << rec.sent_parcels << " parcels, baseline "
+                  << baseline_sent << " — interleaving changed the wire traffic\n";
+        return false;
+      }
+      if (!matches_oracle(id, mgr.take_result(id))) {
+        std::cerr << "FAIL " << shape.to_string() << ": SILENT CORRUPTION in survivor " << id
+                  << " of mode " << mode.name << '\n';
+        return false;
+      }
+    }
+    if (mgr.outstanding_frames() != 0) {
+      std::cerr << "FAIL " << shape.to_string() << ": mode " << mode.name << " leaked "
+                << mgr.outstanding_frames() << " arena frames\n";
+      return false;
+    }
+  }
+  std::cout << "  svc chaos " << shape.to_string() << ": " << sessions_k << " sessions x "
+            << modes.size() << " victim modes — all survivors byte-identical at "
+            << baseline_sent << " parcels each, victims isolated, 0 leaked frames\n";
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -377,7 +545,7 @@ int main(int argc, char** argv) {
     const CliFlags flags = CliFlags::parse(
         argc, argv,
         {"max-nodes", "max-dims", "flit-level", "layout", "static-nodes", "faults", "chaos",
-         "seed", "trace", "kill-rate"});
+         "seed", "trace", "kill-rate", "sessions"});
     constexpr std::int64_t kIntMax = std::numeric_limits<int>::max();
     const std::int64_t max_nodes = flags.get_int("max-nodes", 800, 4, 1'000'000);
     const int max_dims = static_cast<int>(flags.get_int("max-dims", 4, 2, 16));
@@ -386,6 +554,7 @@ int main(int argc, char** argv) {
     const int faults_k = static_cast<int>(flags.get_int("faults", 0, 0, kIntMax));
     const int chaos_runs = static_cast<int>(flags.get_int("chaos", 0, 0, kIntMax));
     const int kill_rate = static_cast<int>(flags.get_int("kill-rate", 0, 0, 100));
+    const int svc_sessions = static_cast<int>(flags.get_int("sessions", 0, 0, 4096));
     const std::uint64_t base_seed = static_cast<std::uint64_t>(
         flags.get_int("seed", 0, 0, std::numeric_limits<std::int64_t>::max()));
     const std::string trace_path = flags.get_string("trace", "");
@@ -487,6 +656,19 @@ int main(int argc, char** argv) {
         if (!kill_resume_sweep(TorusShape(extents), kill_runs, kill_rate, base_seed, obs)) {
           return 1;
         }
+      }
+    }
+
+    // Multi-session kill-one-tenant sweep on the same reference shapes:
+    // K sessions share one manager, one victim per round carries a
+    // rotating failure mode, and every survivor must stay pinned to the
+    // single-session report (byte-identical result, identical parcel
+    // count, zero admission fallout).
+    if (svc_sessions > 0) {
+      std::cout << "multi-session chaos sweep: " << svc_sessions
+                << " sessions/shape, seed=" << base_seed << "\n";
+      for (const auto& extents : std::vector<std::vector<std::int32_t>>{{4, 4}, {8, 4, 4}}) {
+        if (!svc_chaos_sweep(TorusShape(extents), svc_sessions, base_seed)) return 1;
       }
     }
 
