@@ -31,10 +31,17 @@ HeartbeatFailureDetector::HeartbeatFailureDetector(Rank num_nodes,
   nodes_.resize(static_cast<std::size_t>(num_nodes));
 }
 
-void HeartbeatFailureDetector::heartbeat(Rank node, std::int64_t tick) {
+bool HeartbeatFailureDetector::heartbeat(Rank node, std::int64_t tick) {
   TOREX_REQUIRE(node >= 0 && node < num_nodes_, "heartbeat from unknown node");
   auto& state = nodes_[static_cast<std::size_t>(node)];
-  TOREX_REQUIRE(state.last_arrival <= tick, "heartbeats must arrive in tick order");
+  if (state.last_arrival >= 0 && tick <= state.last_arrival) {
+    // Out-of-order or duplicate sample: a zero/negative gap entering
+    // the window would collapse the mean and fabricate suspicion (or,
+    // replayed, mask real silence). Drop it, loudly.
+    ++dropped_samples_;
+    if (obs_ != nullptr) obs_->metrics().counter("fd.dropped_samples").add();
+    return false;
+  }
   if (state.last_arrival < 0) {
     // First heartbeat: seed the window with nominal-interval samples so
     // the early mean starts at the configured cadence instead of being
@@ -53,6 +60,7 @@ void HeartbeatFailureDetector::heartbeat(Rank node, std::int64_t tick) {
     }
   }
   state.last_arrival = tick;
+  return true;
 }
 
 double HeartbeatFailureDetector::mean_interval(const NodeState& state) const {
@@ -92,9 +100,16 @@ std::int64_t HeartbeatFailureDetector::suspicion_tick(Rank node) const {
 
 std::vector<Suspicion> HeartbeatFailureDetector::observe_heartbeats(const FaultModel& faults,
                                                                     std::int64_t up_to_tick) {
-  TOREX_REQUIRE(up_to_tick >= 0, "failure detector horizon must be non-negative");
+  return observe_heartbeats(faults, 0, up_to_tick);
+}
+
+std::vector<Suspicion> HeartbeatFailureDetector::observe_heartbeats(const FaultModel& faults,
+                                                                    std::int64_t from_tick,
+                                                                    std::int64_t up_to_tick) {
+  TOREX_REQUIRE(from_tick >= 0, "failure detector window must start at a non-negative tick");
+  TOREX_REQUIRE(up_to_tick >= from_tick, "failure detector window must not be inverted");
   std::vector<Suspicion> transitions;
-  for (std::int64_t tick = 0; tick <= up_to_tick; ++tick) {
+  for (std::int64_t tick = from_tick; tick <= up_to_tick; ++tick) {
     if (tick % options_.heartbeat_interval == 0) {
       for (Rank node = 0; node < num_nodes_; ++node) {
         if (!faults.node_failed(node, tick)) heartbeat(node, tick);

@@ -69,9 +69,16 @@ class HeartbeatFailureDetector {
   Rank num_nodes() const { return num_nodes_; }
   const FailureDetectorOptions& options() const { return options_; }
 
-  /// Records a heartbeat from `node` at `tick`. Ticks per node must be
-  /// non-decreasing.
-  void heartbeat(Rank node, std::int64_t tick);
+  /// Records a heartbeat from `node` at `tick`. Returns true when the
+  /// sample was accepted. Out-of-order or duplicate samples (tick <=
+  /// the node's last arrival) are dropped and counted — a late
+  /// heartbeat must not shrink the observed gaps and mask real
+  /// silence, nor may a replayed one skew phi. dropped_samples() and
+  /// the fd.dropped_samples counter expose the drop volume.
+  bool heartbeat(Rank node, std::int64_t tick);
+
+  /// Non-monotonic samples refused so far.
+  std::int64_t dropped_samples() const { return dropped_samples_; }
 
   /// Suspicion level of `node` at `tick` (0 before any heartbeat
   /// history exists — an unseen node is trusted until its first
@@ -97,6 +104,13 @@ class HeartbeatFailureDetector {
   /// and returns every transition in tick order.
   std::vector<Suspicion> observe_heartbeats(const FaultModel& faults, std::int64_t up_to_tick);
 
+  /// Incremental variant: observes only ticks in [from_tick,
+  /// up_to_tick], so a driver advancing its own tick axis (torexd's
+  /// fault tick) can feed the detector without re-walking history.
+  /// observe_heartbeats(faults, t) == observe_heartbeats(faults, 0, t).
+  std::vector<Suspicion> observe_heartbeats(const FaultModel& faults, std::int64_t from_tick,
+                                            std::int64_t up_to_tick);
+
   std::string summary(std::int64_t tick) const;
 
  private:
@@ -113,6 +127,7 @@ class HeartbeatFailureDetector {
   FailureDetectorOptions options_;
   Recorder* obs_;
   std::vector<NodeState> nodes_;
+  std::int64_t dropped_samples_ = 0;
 };
 
 }  // namespace torex

@@ -63,6 +63,20 @@ FaultModel& FaultModel::fail_channel(Rank from, Direction direction, std::int64_
   return *this;
 }
 
+FaultModel& FaultModel::flap_channel(Rank from, Direction direction, std::int64_t first_from,
+                                     std::int64_t up_ticks, std::int64_t down_ticks,
+                                     int cycles) {
+  TOREX_REQUIRE(up_ticks >= 1 && down_ticks >= 1,
+                "flapping channel needs non-empty up and down windows");
+  TOREX_REQUIRE(cycles >= 1, "flapping channel needs at least one cycle");
+  std::int64_t start = first_from;
+  for (int cycle = 0; cycle < cycles; ++cycle) {
+    fail_channel(from, direction, start, start + up_ticks);
+    start += up_ticks + down_ticks;
+  }
+  return *this;
+}
+
 FaultModel& FaultModel::fail_node(Rank node, std::int64_t active_from,
                                   std::int64_t active_until) {
   TOREX_REQUIRE(node >= 0, "failed node must be a valid rank");

@@ -95,6 +95,13 @@ class FaultModel {
   FaultModel& fail_node(Rank node, std::int64_t active_from = 0,
                         std::int64_t active_until = kFaultForever);
 
+  /// A flapping channel: `cycles` transient windows of `up_ticks` dead
+  /// followed by `down_ticks` healthy, the first window opening at
+  /// `first_from`. The breaker-lattice stress pattern: each window is
+  /// one independent transient fault on the same channel.
+  FaultModel& flap_channel(Rank from, Direction direction, std::int64_t first_from,
+                           std::int64_t up_ticks, std::int64_t down_ticks, int cycles);
+
   /// Records a CrashFault and its equivalent node fault: dead in
   /// [crash_tick, rejoin_tick).
   FaultModel& crash_node(Rank node, std::int64_t crash_tick,

@@ -17,6 +17,27 @@ std::string to_string(SessionState state) {
   TOREX_UNREACHABLE();
 }
 
+void TenantQuota::validate(const std::string& tenant) const {
+  if (max_parcel_bytes < 0) {
+    throw TenantQuotaError(tenant, "max_parcel_bytes must be positive or kQuotaUnlimited (got " +
+                                       std::to_string(max_parcel_bytes) + ")");
+  }
+  if (max_arena_frames < 0) {
+    throw TenantQuotaError(tenant, "max_arena_frames must be positive or kQuotaUnlimited (got " +
+                                       std::to_string(max_arena_frames) + ")");
+  }
+  if (max_sessions_in_flight < 0) {
+    throw TenantQuotaError(tenant,
+                           "max_sessions_in_flight must be positive or kQuotaUnlimited (got " +
+                               std::to_string(max_sessions_in_flight) + ")");
+  }
+  if (max_parcel_bytes == kQuotaUnlimited && max_arena_frames == kQuotaUnlimited &&
+      max_sessions_in_flight == kQuotaUnlimited) {
+    throw TenantQuotaError(tenant,
+                           "quota entry limits nothing; remove the entry or set a field");
+  }
+}
+
 std::string to_string(RejectReason reason) {
   switch (reason) {
     case RejectReason::kNone: return "none";

@@ -53,21 +53,31 @@ enum class RejectReason {
 
 std::string to_string(RejectReason reason);
 
+/// Unlimited marker for TenantQuota fields.
+inline constexpr std::int64_t kQuotaUnlimited = 0;
+
 /// Per-tenant resource limits, enforced at admission (bytes), at
 /// promotion (sessions in flight), and during execution (arena frames).
-/// 0 means unlimited.
+/// kQuotaUnlimited (0) means that field is unenforced.
 struct TenantQuota {
   /// Largest send matrix one session may carry, in payload bytes
   /// (N * N * sizeof(std::int64_t) for a full exchange). Checked at
   /// admission; breach rejects with kParcelBytesQuota.
-  std::int64_t max_parcel_bytes = 0;
+  std::int64_t max_parcel_bytes = kQuotaUnlimited;
   /// WireArena frames one session may hold leased at once (its
   /// phases-in-flight bound: each in-flight step leases one frame per
   /// sending node). Breach mid-run fails the session, isolated.
-  std::int64_t max_arena_frames = 0;
+  std::int64_t max_arena_frames = kQuotaUnlimited;
   /// Concurrently running sessions of this tenant; further queued
   /// sessions wait (they are not rejected) until a slot frees.
-  int max_sessions_in_flight = 0;
+  int max_sessions_in_flight = kQuotaUnlimited;
+
+  /// Admission-time validation: every field must be positive or
+  /// kQuotaUnlimited, and at least one field must actually limit
+  /// something (an all-unlimited entry is a configuration mistake, not
+  /// a quota). Throws TenantQuotaError naming the tenant and field —
+  /// a typed error instead of undefined scheduler behavior.
+  void validate(const std::string& tenant) const;
 };
 
 /// Deterministic failure/chaos injection seams, per session. All
@@ -156,6 +166,50 @@ struct SvcStats {
   std::int64_t disposed() const {
     return admitted + rejected + deadline_missed_queued + cancelled_queued;
   }
+};
+
+/// A tenant's quota table entry is malformed (negative field, or an
+/// entry that limits nothing). Raised by TenantQuota::validate at
+/// manager construction — before any scheduler state depends on it.
+/// Subclasses std::invalid_argument: quota shape is an argument
+/// contract, like every other option validation.
+class TenantQuotaError : public std::invalid_argument {
+ public:
+  TenantQuotaError(const std::string& tenant, const std::string& why)
+      : std::invalid_argument("tenant \"" + tenant + "\" quota invalid: " + why),
+        tenant_(tenant) {}
+  const std::string& tenant() const { return tenant_; }
+
+ private:
+  std::string tenant_;
+};
+
+/// A session request carries a malformed scheduling parameter (weight
+/// outside [1, kMaxSessionWeight], non-finite or negative arrival /
+/// deadline). Raised by submit() before the request enters any queue.
+class SessionConfigError : public std::invalid_argument {
+ public:
+  explicit SessionConfigError(const std::string& why)
+      : std::invalid_argument("session request invalid: " + why) {}
+};
+
+/// Largest admissible WFQ weight; beyond this the virtual-time
+/// arithmetic loses the resolution the tie-break relies on.
+inline constexpr int kMaxSessionWeight = 1'000'000;
+
+/// A session's scheduled route crossed a faulted or quarantined
+/// resource and no detour exists (the surviving topology disconnects
+/// the pair). The session fails, isolated, with the resource named.
+class SessionFaultError : public std::runtime_error {
+ public:
+  SessionFaultError(SessionId id, int phase, int step, const std::string& why)
+      : std::runtime_error("session " + std::to_string(id) + " unroutable at phase " +
+                           std::to_string(phase) + " step " + std::to_string(step) + ": " + why),
+        id_(id) {}
+  SessionId id() const { return id_; }
+
+ private:
+  SessionId id_;
 };
 
 /// A session exceeded its tenant's arena-frame quota mid-step. The

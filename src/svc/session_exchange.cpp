@@ -43,8 +43,91 @@ SessionExchange::SessionExchange(SessionId id, const SuhShinAape& algo,
   journal_ = ExchangeJournal(algo.shape(), algo.num_phases(), algo.total_steps());
 }
 
-void SessionExchange::run_phase(const std::atomic<bool>* cancel,
-                                const SessionInjection& inject) {
+bool SessionExchange::health_gate(int phase, int step, const HealthContext& health) {
+  const Rank N = algo_->shape().num_nodes();
+  const Torus& torus = algo_->torus();
+  HealthRegistry& registry = *health.registry;
+  const std::int64_t tick = health.tick;
+
+  // Planning view: ground-truth service faults plus everything the
+  // registry has quarantined. Detours route against this model, so a
+  // reroute never lands on another known-bad resource.
+  FaultModel avoid = health.faults != nullptr ? *health.faults : FaultModel{};
+  registry.add_quarantine(avoid, tick);
+
+  const int hops = algo_->hops_per_step(phase);
+  std::vector<ChannelId> route;
+  for (Rank p = 0; p < N; ++p) {
+    const auto& buf = buffers_[static_cast<std::size_t>(p)];
+    std::int64_t parcels = 0;
+    for (const Parcel<Word>& x : buf) {
+      if (algo_->should_send(p, phase, step, x.block)) ++parcels;
+    }
+    if (parcels == 0) continue;
+    const Rank q = algo_->partner(p, phase, step);
+
+    // §6 remap hosting: a message whose endpoint is dead or
+    // quarantined is hosted by the surviving neighbor the remap
+    // assigns — the exchange proceeds, the registry accounts it.
+    if (avoid.node_relevant_failed(p, tick) || avoid.node_relevant_failed(q, tick)) {
+      registry.note_remap_hosted();
+      continue;
+    }
+
+    route.clear();
+    torus.straight_path(p, algo_->direction(p, phase, step), hops, route);
+    bool needs_detour = false;
+    for (const ChannelId id : route) {
+      if (registry.channel_quarantined(id, tick)) {
+        // Someone already paid the discovery: reroute immediately, no
+        // retries, no chain walk — first-discoverer-heals-all.
+        registry.note_quarantine_hit();
+        needs_detour = true;
+        continue;
+      }
+      if (health.faults == nullptr || !health.faults->channel_failed(torus, id, tick)) {
+        continue;
+      }
+      // A live, undiscovered fault: this session is the discoverer.
+      // Each retransmission attempt draws the message's parcel count
+      // from the global budget; denial defers the whole step (nothing
+      // mutated yet) so the retries queue instead of firing.
+      while (!registry.channel_quarantined(id, tick)) {
+        if (health.budget != nullptr && !health.budget->try_acquire(parcels)) {
+          registry.note_deferral();
+          return false;
+        }
+        registry.note_resent(parcels);
+        const auto fault = health.faults->find_channel_fault(torus, id, tick);
+        const std::string why =
+            fault.has_value() ? fault->describe(torus) : "unattributed send failure";
+        if (registry.record_channel_error(id, tick, why)) {
+          // The breaker tripped on our error: we are the first
+          // discoverer and walk the degradation chain (retry ->
+          // reroute/remap) exactly once, publishing the verdict.
+          registry.note_chain_walk(id);
+        }
+      }
+      needs_detour = true;
+    }
+    if (!needs_detour) continue;
+
+    // The quarantined channels are already failed in `avoid` (either a
+    // service fault or add_quarantine above), so BFS plans past them.
+    auto path = route_around_faults(torus, avoid, p, q, tick);
+    if (!path.has_value()) {
+      throw SessionFaultError(id_, phase, step,
+                              "no detour from node " + std::to_string(p) + " to node " +
+                                  std::to_string(q) + " around quarantined resources");
+    }
+    registry.note_reroute(static_cast<std::int64_t>(path->size()) - hops);
+  }
+  return true;
+}
+
+PhaseOutcome SessionExchange::run_phase(const std::atomic<bool>* cancel,
+                                        const SessionInjection& inject,
+                                        const HealthContext& health) {
   TOREX_REQUIRE(!complete(), "session exchange already complete");
   const Rank N = algo_->shape().num_nodes();
   const int phase = phases_done_ + 1;
@@ -52,9 +135,13 @@ void SessionExchange::run_phase(const std::atomic<bool>* cancel,
 
   std::vector<PendingFrame> pending;
   std::vector<std::pair<Rank, Rank>> arrivals;
-  for (int step = 1; step <= algo_->steps_in_phase(phase); ++step, ++flat_step_) {
+  for (int step = next_step_; step <= algo_->steps_in_phase(phase); ++step) {
     if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
       detail::throw_journal_cancelled(phase, step);
+    }
+    if (health.active() && !health_gate(phase, step, health)) {
+      next_step_ = step;  // resume exactly here; nothing was mutated
+      return PhaseOutcome::kDeferred;
     }
 
     // Send half: partition each node's buffer, seal the contiguous
@@ -137,9 +224,12 @@ void SessionExchange::run_phase(const std::atomic<bool>* cancel,
       detail::throw_journal_cancelled(phase, step);
     }
     journal_.commit_step(flat_step_);
+    ++flat_step_;
   }
+  next_step_ = 1;
   journal_.commit_phase(phase);
   ++phases_done_;
+  return PhaseOutcome::kComplete;
 }
 
 std::vector<std::vector<Word>> SessionExchange::take_result() {

@@ -32,9 +32,34 @@
 #include "core/payload_exchange.hpp"
 #include "core/wire_buffer.hpp"
 #include "runtime/journal.hpp"
+#include "sim/fault_model.hpp"
+#include "svc/health_registry.hpp"
 #include "svc/session.hpp"
 
 namespace torex {
+
+/// The service-level health view one phase executes under: ground-truth
+/// service faults on the manager's fault tick axis, the shared breaker
+/// registry, and the global retry token bucket. Default-constructed
+/// (inactive) when the manager runs without a health layer — the data
+/// path is then byte-for-byte the PR 6 behavior.
+struct HealthContext {
+  const FaultModel* faults = nullptr;  ///< service ground truth (may be empty)
+  HealthRegistry* registry = nullptr;
+  RetryBudget* budget = nullptr;
+  std::int64_t tick = 0;  ///< the manager's fault tick for this dispatch
+
+  bool active() const { return registry != nullptr; }
+};
+
+/// What a run_phase dispatch did. kDeferred means the retry budget
+/// refused the retransmissions a faulted step needs: nothing was
+/// mutated for that step, and the next dispatch resumes exactly there
+/// (retries queue rather than fire).
+enum class PhaseOutcome {
+  kComplete,  ///< the phase ran to its commit marker
+  kDeferred,  ///< re-queue: budget denied, state untouched at the step
+};
 
 /// One session's exchange, executable one phase at a time. The service
 /// payload is fixed to one machine word.
@@ -59,16 +84,30 @@ class SessionExchange {
   /// Executes the next phase's steps. Throws ExchangeCancelledError
   /// when `cancel` is observed at a step boundary or in the
   /// flush/commit window, ExchangeCrashError / SessionIntegrityError /
-  /// SessionQuotaError per `inject` and the frame quota. After a throw
-  /// the exchange is dead (the journal keeps everything flushed so
-  /// far); the manager retires the session.
-  void run_phase(const std::atomic<bool>* cancel, const SessionInjection& inject);
+  /// SessionQuotaError per `inject` and the frame quota, and
+  /// SessionFaultError when a faulted/quarantined route has no detour.
+  /// After a throw the exchange is dead (the journal keeps everything
+  /// flushed so far); the manager retires the session.
+  ///
+  /// With an active `health` context every step runs a pre-flight gate
+  /// before any buffer is touched: scheduled routes are checked against
+  /// the breaker registry and the service fault model; discovery
+  /// retries draw from the global budget (denial returns kDeferred —
+  /// the step is untouched and a later dispatch resumes it); messages
+  /// over bad resources are rerouted (or remap-hosted when an endpoint
+  /// is quarantined), with the detours accounted in the registry.
+  PhaseOutcome run_phase(const std::atomic<bool>* cancel, const SessionInjection& inject,
+                         const HealthContext& health = {});
 
   /// recv[q][p] = send[p][q]; requires complete(). Consumes the
   /// buffers.
   std::vector<std::vector<std::int64_t>> take_result();
 
  private:
+  /// Pre-mutation health check for one step. Returns false to defer
+  /// (budget denied); throws SessionFaultError when no detour exists.
+  bool health_gate(int phase, int step, const HealthContext& health);
+
   SessionId id_;
   const SuhShinAape* algo_;
   WireArena* arena_;
@@ -78,6 +117,7 @@ class SessionExchange {
   ExchangeJournal journal_;
   std::int64_t flat_step_ = 0;  // 0-based global step index
   int phases_done_ = 0;
+  int next_step_ = 1;  ///< deferred-phase resume point (1-based in-phase)
   std::int64_t sent_parcels_ = 0;
   std::int64_t peak_leased_ = 0;
 };

@@ -1,6 +1,7 @@
 #include "svc/session_manager.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "runtime/watchdog.hpp"
@@ -8,15 +9,30 @@
 
 namespace torex {
 
+namespace {
+
+/// Consecutive budget deferrals after which a session fails instead of
+/// spinning: with a refilling bucket a phase always un-defers long
+/// before this, so hitting the cap means the budget is misconfigured
+/// relative to the fault load (a starvation diagnosis, not a hang).
+constexpr int kMaxDeferralsPerSession = 256;
+
+}  // namespace
+
+void HealthOptions::validate() const {
+  breaker.validate();
+  retries.validate();
+  detector.validate();
+}
+
 void SessionManagerOptions::validate() const {
   TOREX_REQUIRE(max_active >= 1, "session manager needs at least one active slot");
   TOREX_REQUIRE(max_queued >= 1, "session manager needs at least one queue slot");
   TOREX_REQUIRE(block_bytes >= 1, "block size must be positive");
   for (const auto& [tenant, quota] : quotas) {
-    TOREX_REQUIRE(quota.max_parcel_bytes >= 0 && quota.max_arena_frames >= 0 &&
-                      quota.max_sessions_in_flight >= 0,
-                  "tenant quotas must be non-negative (tenant " + tenant + ")");
+    quota.validate(tenant);  // typed TenantQuotaError on malformed entries
   }
+  health.validate();
 }
 
 SessionManager::SessionManager(TorusShape shape, CostParams params, SessionManagerOptions options)
@@ -27,6 +43,14 @@ SessionManager::SessionManager(TorusShape shape, CostParams params, SessionManag
   options_.validate();
   obs_ = options_.obs != nullptr && options_.obs->enabled() ? options_.obs : nullptr;
   phase_cost_ = comm_.phase_cost(options_.block_bytes);
+  if (options_.health.enabled || !options_.service_faults.empty()) {
+    health_ = std::make_unique<HealthRegistry>(shape_, options_.health.breaker, obs_);
+    retry_budget_ = std::make_unique<RetryBudget>(options_.health.retries);
+    if (!options_.service_faults.crashes().empty()) {
+      detector_ = std::make_unique<HeartbeatFailureDetector>(schedule_.shape().num_nodes(),
+                                                             options_.health.detector, obs_);
+    }
+  }
 }
 
 double SessionManager::now() const {
@@ -40,9 +64,19 @@ std::int64_t SessionManager::sessions() const {
 }
 
 SessionId SessionManager::submit(SessionRequest request) {
-  TOREX_REQUIRE(request.weight >= 1, "session weight must be positive");
-  TOREX_REQUIRE(request.arrival >= 0.0, "session arrival must be non-negative");
-  TOREX_REQUIRE(request.deadline >= 0.0, "session deadline must be non-negative");
+  // Typed rejection of malformed scheduling parameters before the
+  // request touches any queue: a non-finite arrival would wedge the
+  // virtual clock, an absurd weight would defeat the WFQ tie-break.
+  if (request.weight < 1 || request.weight > kMaxSessionWeight) {
+    throw SessionConfigError("weight must be in [1, " + std::to_string(kMaxSessionWeight) +
+                             "] (got " + std::to_string(request.weight) + ")");
+  }
+  if (!std::isfinite(request.arrival) || request.arrival < 0.0) {
+    throw SessionConfigError("arrival must be finite and non-negative");
+  }
+  if (!std::isfinite(request.deadline) || request.deadline < 0.0) {
+    throw SessionConfigError("deadline must be finite and non-negative");
+  }
   std::lock_guard<std::mutex> lk(mu_);
   const SessionId id = static_cast<SessionId>(slots_.size());
   auto s = std::make_unique<Slot>();
@@ -252,6 +286,12 @@ void SessionManager::promote() {
       running_.push_back(s.record.id);
       ++tenant_running_[s.record.tenant];
       ++stats_.admitted;
+      if (health_ != nullptr && health_->any_quarantined(fault_tick_)) {
+        // Newly admitted with quarantine in force: this session is
+        // planned around the bad resources from its first phase (the
+        // per-step gate reroutes on sight, spending zero retries).
+        health_->note_planned_around();
+      }
       if (obs_ != nullptr) {
         obs_->instant("svc.admit", static_cast<std::int32_t>(s.record.id));
         obs_->metrics().counter("svc.admitted").add();
@@ -307,16 +347,44 @@ bool SessionManager::run_one() {
     s->cancel_flag->store(true, std::memory_order_relaxed);
   }
 
+  health_maintenance();
+  HealthContext health;
+  if (health_ != nullptr) {
+    health.faults = &options_.service_faults;
+    health.registry = health_.get();
+    health.budget = retry_budget_.get();
+    health.tick = fault_tick_;
+  }
+
   const int phase = s->exchange->phases_done() + 1;
   try {
     SpanGuard phase_span(obs_, "svc.phase", static_cast<std::int32_t>(s->record.id), phase);
-    s->exchange->run_phase(s->cancel_flag.get(), s->request.inject);
+    const PhaseOutcome outcome =
+        s->exchange->run_phase(s->cancel_flag.get(), s->request.inject, health);
+    // Time always advances by one phase cost per dispatch — a deferred
+    // phase burned its turn too, and the budget refills on this clock.
+    vclock_ += phase_cost_;
+    s->vfinish += phase_cost_ / static_cast<double>(s->record.weight);
+    ++fault_tick_;
+    if (outcome == PhaseOutcome::kDeferred) {
+      // Retries beyond the global budget queue rather than fire: the
+      // session keeps its slot and the fair scheduler will re-dispatch
+      // it once cheaper sessions have run (and the bucket refilled).
+      ++s->deferrals;
+      const bool can_refill = options_.health.retries.capacity == 0 ||
+                              options_.health.retries.refill_per_time > 0.0;
+      if (!can_refill || s->deferrals >= kMaxDeferralsPerSession) {
+        retire_running(*s, SessionState::kFailed,
+                       "retry budget starved after " + std::to_string(s->deferrals) +
+                           " deferral(s) at phase " + std::to_string(phase));
+      }
+      return true;
+    }
+    s->deferrals = 0;
     ++stats_.phases_executed;
     if (obs_ != nullptr) obs_->metrics().counter("svc.phases").add();
     s->record.phases_done = s->exchange->phases_done();
     s->record.sent_parcels = s->exchange->sent_parcels();
-    vclock_ += phase_cost_;
-    s->vfinish += phase_cost_ / static_cast<double>(s->record.weight);
     if (s->exchange->complete()) {
       retire_running(*s, SessionState::kCompleted, "");
     }
@@ -325,11 +393,14 @@ bool SessionManager::run_one() {
     // it, and determinism wants the clock independent of how far the
     // phase got before the flag was seen.
     vclock_ += phase_cost_;
+    ++fault_tick_;
     retire_running(*s, SessionState::kCancelled, error.what());
   } catch (const std::exception& error) {
-    // Crash injection, corruption refusal, quota breach, or any other
-    // session-local defect: the session dies, the engine moves on.
+    // Crash injection, corruption refusal, quota breach, unroutable
+    // fault, or any other session-local defect: the session dies, the
+    // engine moves on.
     vclock_ += phase_cost_;
+    ++fault_tick_;
     retire_running(*s, SessionState::kFailed, error.what());
   }
   return true;
@@ -374,6 +445,55 @@ WirePoolStats SessionManager::wire_stats() const {
 std::int64_t SessionManager::outstanding_frames() const {
   std::lock_guard<std::mutex> lk(mu_);
   return arena_.stats().outstanding_frames();
+}
+
+void SessionManager::health_maintenance() {
+  if (health_ == nullptr) return;
+  retry_budget_->advance(vclock_);
+  if (detector_ != nullptr && fault_tick_ > observed_tick_) {
+    // Feed the detector only the ticks that elapsed since the last
+    // dispatch; crashed nodes (service crash faults) go silent and the
+    // resulting phi transitions open their node breakers.
+    const auto suspicions =
+        detector_->observe_heartbeats(options_.service_faults, observed_tick_ + 1, fault_tick_);
+    observed_tick_ = fault_tick_;
+    for (const Suspicion& suspicion : suspicions) {
+      health_->report_suspicion(suspicion.node, fault_tick_, suspicion.phi);
+    }
+  }
+  health_->run_probes(options_.service_faults, fault_tick_);
+}
+
+std::int64_t SessionManager::fault_tick() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return fault_tick_;
+}
+
+void SessionManager::advance_health(std::int64_t ticks) {
+  TOREX_REQUIRE(ticks >= 1, "advance_health needs a positive tick count");
+  std::lock_guard<std::mutex> lk(mu_);
+  if (health_ == nullptr) return;
+  for (std::int64_t i = 0; i < ticks; ++i) {
+    ++fault_tick_;
+    health_maintenance();
+  }
+}
+
+HealthStats SessionManager::health_stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  TOREX_REQUIRE(health_ != nullptr, "health stats requested from a manager without the layer");
+  HealthStats out = health_->stats(fault_tick_);
+  out.retry_granted = retry_budget_->granted();
+  out.retry_denied = retry_budget_->denied();
+  out.retry_refilled = retry_budget_->refilled();
+  out.retry_capacity = options_.health.retries.capacity;
+  return out;
+}
+
+std::string SessionManager::health_dump() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  TOREX_REQUIRE(health_ != nullptr, "health dump requested from a manager without the layer");
+  return health_->dump(fault_tick_);
 }
 
 }  // namespace torex

@@ -52,12 +52,32 @@
 #include "costmodel/params.hpp"
 #include "obs/recorder.hpp"
 #include "runtime/communicator.hpp"
+#include "runtime/failure_detector.hpp"
+#include "sim/fault_model.hpp"
+#include "svc/health_registry.hpp"
 #include "svc/session.hpp"
 #include "svc/session_exchange.hpp"
 
 namespace torex {
 
-/// Manager-wide tuning. validate() rejects non-positive bounds.
+/// The manager's health layer tuning: breaker lattice, global retry
+/// bucket, and the phi-accrual detector that feeds node suspicion from
+/// service crash faults. validate() delegates to each part.
+struct HealthOptions {
+  /// Turns the health layer on. It also activates implicitly when
+  /// SessionManagerOptions::service_faults is non-empty — a fault
+  /// model without the health substrate would fault sessions silently.
+  bool enabled = false;
+  BreakerOptions breaker;
+  RetryBudgetOptions retries;
+  FailureDetectorOptions detector;
+
+  void validate() const;
+};
+
+/// Manager-wide tuning. validate() rejects non-positive bounds,
+/// malformed quota entries (TenantQuotaError), and malformed health
+/// tuning.
 struct SessionManagerOptions {
   /// Concurrently executing sessions (the admission bound).
   int max_active = 8;
@@ -68,6 +88,12 @@ struct SessionManagerOptions {
   std::int64_t block_bytes = static_cast<std::int64_t>(sizeof(std::int64_t));
   /// Per-tenant quotas; tenants absent from the map are unlimited.
   std::map<std::string, TenantQuota> quotas;
+  /// Ground-truth service faults on the manager's fault tick axis (one
+  /// tick per dispatched phase; see fault_tick()). Sessions never see
+  /// this model directly — they discover it through the health layer.
+  FaultModel service_faults;
+  /// Health layer tuning; see HealthOptions.
+  HealthOptions health;
   /// Optional telemetry: svc.* counters/gauges and per-phase spans.
   Recorder* obs = nullptr;
 
@@ -125,6 +151,22 @@ class SessionManager {
   WirePoolStats wire_stats() const;
   std::int64_t outstanding_frames() const;
 
+  /// True when the health layer (breakers, retry budget, detector
+  /// feed) is active for this manager.
+  bool health_enabled() const { return health_ != nullptr; }
+  /// The service fault/health tick: one per dispatched phase.
+  std::int64_t fault_tick() const;
+  /// Advances the fault tick without dispatching work: detector feed
+  /// and probe maintenance still run, so breakers converge back to
+  /// closed after fault windows pass even on an idle service. No-op
+  /// without the health layer.
+  void advance_health(std::int64_t ticks = 1);
+  /// Registry + retry-budget snapshot at the current fault tick.
+  /// Requires the health layer.
+  HealthStats health_stats() const;
+  /// Human-readable breaker table (the CI failure artifact).
+  std::string health_dump() const;
+
  private:
   struct Slot {
     SessionRecord record;
@@ -132,6 +174,7 @@ class SessionManager {
     std::unique_ptr<SessionExchange> exchange;
     std::shared_ptr<std::atomic<bool>> cancel_flag;
     double vfinish = 0.0;  ///< WFQ virtual finish time of the next phase
+    int deferrals = 0;     ///< consecutive budget deferrals (starvation guard)
     std::vector<std::vector<std::int64_t>> result;
     bool has_result = false;
   };
@@ -145,6 +188,7 @@ class SessionManager {
   void retire_running(Slot& s, SessionState state, const std::string& error);
   void set_queue_gauges();
   Slot* pick_fairest();
+  void health_maintenance();  ///< detector feed + probes at fault_tick_
 
   TorusShape shape_;
   SuhShinAape schedule_;
@@ -163,6 +207,13 @@ class SessionManager {
   double vclock_ = 0.0;
   SvcStats stats_;
   WireArena arena_;  ///< shared frame pool, one per service
+
+  // Health layer (all null/unused when disabled).
+  std::unique_ptr<HealthRegistry> health_;
+  std::unique_ptr<RetryBudget> retry_budget_;
+  std::unique_ptr<HeartbeatFailureDetector> detector_;
+  std::int64_t fault_tick_ = 0;     ///< advances once per dispatched phase
+  std::int64_t observed_tick_ = -1; ///< detector heartbeat feed high-water mark
 };
 
 }  // namespace torex

@@ -36,6 +36,7 @@
 #include "sim/fault_model.hpp"
 #include "sim/trace_export.hpp"
 #include "sim/wormhole.hpp"
+#include "svc/health_registry.hpp"
 #include "svc/session.hpp"
 #include "svc/session_exchange.hpp"
 #include "svc/session_manager.hpp"

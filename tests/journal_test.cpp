@@ -490,7 +490,36 @@ TEST(FailureDetectorTest, PhiAccruesWithSilence) {
   EXPECT_GT(late, early);
   EXPECT_FALSE(detector.suspect(0, 12));
   EXPECT_TRUE(detector.suspect(0, 30));
-  EXPECT_THROW(detector.heartbeat(0, 5), std::invalid_argument);  // ticks go forward
+}
+
+TEST(FailureDetectorTest, NonMonotonicSamplesDropAndCount) {
+  // Regression: an out-of-order or duplicate heartbeat must be dropped
+  // and counted, not folded into the window. A late replay used to be
+  // a hard error; worse alternatives would push a zero or negative gap
+  // into the ring and collapse the mean (fabricating suspicion) or
+  // advance last_arrival backwards (masking real silence).
+  HeartbeatFailureDetector detector(2, FailureDetectorOptions{});
+  for (std::int64_t t = 0; t <= 10; ++t) EXPECT_TRUE(detector.heartbeat(0, t));
+  const double phi_before = detector.phi(0, 14);
+  const std::int64_t suspicion_before = detector.suspicion_tick(0);
+
+  EXPECT_FALSE(detector.heartbeat(0, 5));   // out of order
+  EXPECT_FALSE(detector.heartbeat(0, 10));  // duplicate of the last tick
+  EXPECT_EQ(detector.dropped_samples(), 2);
+
+  // phi is untouched: the stale samples neither skewed the mean nor
+  // rewound the silence measurement.
+  EXPECT_EQ(detector.phi(0, 14), phi_before);
+  EXPECT_EQ(detector.suspicion_tick(0), suspicion_before);
+
+  // A fresh in-order beat is still accepted afterwards.
+  EXPECT_TRUE(detector.heartbeat(0, 11));
+  EXPECT_EQ(detector.dropped_samples(), 2);
+
+  // Other nodes are unaffected by node 0's replays.
+  EXPECT_TRUE(detector.heartbeat(1, 3));
+  EXPECT_FALSE(detector.heartbeat(1, 3));
+  EXPECT_EQ(detector.dropped_samples(), 3);
 }
 
 TEST(FailureDetectorTest, SuspicionTickMatchesThreshold) {

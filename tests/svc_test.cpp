@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -81,6 +82,47 @@ TEST(SvcOptionsTest, InvalidBoundsAreRejected) {
   SessionRequest bad_arrival = make_request(0);
   bad_arrival.arrival = -1.0;
   EXPECT_THROW(mgr.submit(std::move(bad_arrival)), std::invalid_argument);
+}
+
+TEST(SvcOptionsTest, QuotaFieldsValidateWithTypedErrors) {
+  // Each negative field is rejected with a TenantQuotaError that names
+  // the tenant, and an entry with every field unlimited is rejected
+  // too — it would silently limit nothing.
+  TenantQuota negative_bytes;
+  negative_bytes.max_parcel_bytes = -1;
+  TenantQuota negative_frames;
+  negative_frames.max_arena_frames = -2;
+  TenantQuota negative_in_flight;
+  negative_in_flight.max_sessions_in_flight = -3;
+  for (const TenantQuota& quota : {negative_bytes, negative_frames, negative_in_flight}) {
+    try {
+      quota.validate("acme");
+      FAIL() << "negative quota field passed validation";
+    } catch (const TenantQuotaError& error) {
+      EXPECT_EQ(error.tenant(), "acme");
+      EXPECT_NE(std::string(error.what()).find("acme"), std::string::npos);
+    }
+  }
+  const TenantQuota limits_nothing;  // all fields kQuotaUnlimited
+  EXPECT_THROW(limits_nothing.validate("idle"), TenantQuotaError);
+  TenantQuota useful;
+  useful.max_arena_frames = 4;
+  EXPECT_NO_THROW(useful.validate("ok"));
+
+  // Manager options surface the same error from their quota map, and
+  // submit() raises SessionConfigError for malformed scheduling
+  // parameters before the request enters any queue.
+  SessionManagerOptions options;
+  options.quotas["acme"].max_parcel_bytes = -1;
+  EXPECT_THROW(options.validate(), TenantQuotaError);
+  SessionManager mgr(kShape, CostParams{}, {});
+  SessionRequest heavy = make_request(0);
+  heavy.weight = kMaxSessionWeight + 1;
+  EXPECT_THROW(mgr.submit(std::move(heavy)), SessionConfigError);
+  SessionRequest nan_deadline = make_request(0);
+  nan_deadline.deadline = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(mgr.submit(std::move(nan_deadline)), SessionConfigError);
+  EXPECT_EQ(mgr.sessions(), 0);
 }
 
 TEST(SvcOptionsTest, NonQualifyingShapeIsRejectedAtConstruction) {

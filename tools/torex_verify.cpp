@@ -3,7 +3,7 @@
 //   ./torex_verify [--max-nodes=800] [--max-dims=4] [--flit-level]
 //                  [--layout] [--static-nodes=0] [--faults=0]
 //                  [--chaos=0] [--kill-rate=0] [--sessions=0]
-//                  [--seed=0] [--trace=FILE]
+//                  [--storm=0] [--seed=0] [--trace=FILE]
 //
 // Enumerates every valid torus shape (extents multiples of four, sorted
 // non-increasing) up to the node budget and dimension cap, and runs the
@@ -31,8 +31,20 @@
 //     wire frame, arena frame quota of one, mid-run cancel), and every
 //     survivor must complete byte-identical to the oracle with exactly
 //     the single-session parcel count — zero cross-session blast radius.
+//   * optionally (--storm=K) a mid-flight fault/flap storm sweep: K
+//     concurrent sessions run under torexd's health layer while the
+//     service fault model flaps a scheduled channel, kills another for
+//     a whole phase, and crashes+rejoins a node. Asserts zero silent
+//     corruption, bounded retry amplification (parcels resent == budget
+//     tokens granted <= capacity + refilled), first-discoverer-heals-all
+//     (per-channel degradation-chain walks <= covering fault windows),
+//     detector suspicion of the crashed node, and breaker convergence
+//     back to closed once the storm passes; a second, tight-budget
+//     round proves denied retries defer (queue) rather than fire.
 // --seed=S perturbs every seeded sweep (faults and chaos) and is echoed
-// in the report so failures are reproducible. Exits non-zero on the
+// in the report so failures are reproducible; every chaos-harness FAIL
+// line also prints the one-command repro (sweep flag + seed, and the
+// failing session where there is one). Exits non-zero on the
 // first failure. This is the tool to run after touching the pattern or
 // schedule code on a machine with more budget than CI.
 //
@@ -88,6 +100,14 @@ std::uint64_t shape_seed(const TorusShape& shape, std::uint64_t base) {
   return seed ^ (base * 0x9E3779B97F4A7C15u);
 }
 
+/// One-command repro echoed with every chaos-harness FAIL: the sweep
+/// flag plus the seed pins the exact failing run (the chaos shapes are
+/// fixed, so --max-nodes=4 skips the unrelated enumeration sweep).
+std::string repro(const std::string& sweep_flags, std::uint64_t base_seed) {
+  return "  repro: torex_verify --max-nodes=4 " + sweep_flags +
+         " --seed=" + std::to_string(base_seed);
+}
+
 /// Re-runs the exchange with `faults_k` seeded permanent channel faults
 /// under every recovery policy and re-checks the AAPE permutation.
 /// Returns false (after printing a FAIL line) on any divergence.
@@ -136,6 +156,7 @@ bool verify_faulted_exchange(const TorusShape& shape, int faults_k, std::uint64_
 /// it must never do is return silently wrong data or hang. Prints a
 /// per-shape tally and returns false on the first silent corruption.
 bool chaos_sweep(const TorusShape& shape, int runs, std::uint64_t base_seed, Recorder* obs) {
+  const std::string chaos_repro = repro("--chaos=" + std::to_string(runs), base_seed);
   const TorusCommunicator comm(shape, CostParams{});
   const Torus torus(shape);
   const Rank N = comm.size();
@@ -187,7 +208,7 @@ bool chaos_sweep(const TorusShape& shape, int runs, std::uint64_t base_seed, Rec
       // fault, and must fail the sweep (and CI) loudly.
       std::cerr << "FAIL " << shape.to_string() << ": chaos run " << run
                 << " raised an unexpected exception (not an attributed integrity/fault "
-                << "refusal): " << e.what() << '\n';
+                << "refusal): " << e.what() << '\n' << chaos_repro << '\n';
       return false;
     }
     for (Rank q = 0; q < N; ++q) {
@@ -196,7 +217,7 @@ bool chaos_sweep(const TorusShape& shape, int runs, std::uint64_t base_seed, Rec
             send[static_cast<std::size_t>(p)][static_cast<std::size_t>(q)]) {
           std::cerr << "FAIL " << shape.to_string() << ": SILENT CORRUPTION in chaos run "
                     << run << " (recv[" << q << "][" << p << "] wrong; " << outcome.summary()
-                    << ")\n";
+                    << ")\n" << chaos_repro << '\n';
           return false;
         }
       }
@@ -226,6 +247,9 @@ bool chaos_sweep(const TorusShape& shape, int runs, std::uint64_t base_seed, Rec
 /// upload.
 bool kill_resume_sweep(const TorusShape& shape, int runs, int kill_rate,
                        std::uint64_t base_seed, Recorder* obs) {
+  const std::string kill_repro = repro(
+      "--chaos=" + std::to_string(runs) + " --kill-rate=" + std::to_string(kill_rate),
+      base_seed);
   const TorusCommunicator comm(shape, CostParams{});
   const SuhShinAape algo(shape);
   const Rank N = comm.size();
@@ -277,6 +301,7 @@ bool kill_resume_sweep(const TorusShape& shape, int runs, int kill_rate,
     if (!matches_oracle(recv) || !journal.exchange_complete()) {
       std::cerr << "FAIL " << shape.to_string() << ": healthy journaled baseline broke ("
                 << outcome.summary() << ")\n";
+      std::cerr << kill_repro << '\n';
       save_artifact(journal, -1);
       return false;
     }
@@ -296,6 +321,7 @@ bool kill_resume_sweep(const TorusShape& shape, int runs, int kill_rate,
       if (!matches_oracle(recv)) {
         std::cerr << "FAIL " << shape.to_string() << ": kill sweep run " << run
                   << " (no kill) broke the permutation\n";
+        std::cerr << kill_repro << '\n';
         save_artifact(journal, run);
         return false;
       }
@@ -318,6 +344,7 @@ bool kill_resume_sweep(const TorusShape& shape, int runs, int kill_rate,
     if (!crashed) {
       std::cerr << "FAIL " << shape.to_string() << ": crash point phase " << phase << " step "
                 << step << " never fired in run " << run << '\n';
+      std::cerr << kill_repro << '\n';
       save_artifact(journal, run);
       return false;
     }
@@ -344,6 +371,7 @@ bool kill_resume_sweep(const TorusShape& shape, int runs, int kill_rate,
       std::cerr << "FAIL " << shape.to_string() << ": LOST OR DUPLICATED PARCELS after "
                 << "kill+resume in run " << run << " (kill at phase " << phase << " step "
                 << step << "; " << resumed_outcome.summary() << ")\n";
+      std::cerr << kill_repro << '\n';
       save_artifact(loaded, run);
       return false;
     }
@@ -354,18 +382,21 @@ bool kill_resume_sweep(const TorusShape& shape, int runs, int kill_rate,
       std::cerr << "FAIL " << shape.to_string() << ": resume after kill at phase " << phase
                 << " step " << step << " re-sent " << report.sent_parcels
                 << " parcels, not fewer than a full restart (" << full_sent << ")\n";
+      std::cerr << kill_repro << '\n';
       save_artifact(loaded, run);
       return false;
     }
     if (committed == 0 && report.sent_parcels != full_sent) {
       std::cerr << "FAIL " << shape.to_string() << ": resume with nothing committed sent "
                 << report.sent_parcels << " parcels, expected the full " << full_sent << '\n';
+      std::cerr << kill_repro << '\n';
       save_artifact(loaded, run);
       return false;
     }
     if (!loaded.exchange_complete()) {
       std::cerr << "FAIL " << shape.to_string() << ": journal incomplete after resume in run "
                 << run << '\n';
+      std::cerr << kill_repro << '\n';
       save_artifact(loaded, run);
       return false;
     }
@@ -381,6 +412,31 @@ bool kill_resume_sweep(const TorusShape& shape, int runs, int kill_rate,
 /// The oracle payload node p sends node q in svc-chaos session `id`.
 std::int64_t svc_payload(SessionId id, Rank N, Rank p, Rank q) {
   return (id + 1) * 1'000'003 + static_cast<std::int64_t>(p) * N + q;
+}
+
+/// Session `id`'s N x N send matrix under the svc oracle.
+std::vector<std::vector<std::int64_t>> svc_send_matrix(Rank N, SessionId id) {
+  std::vector<std::vector<std::int64_t>> send(static_cast<std::size_t>(N));
+  for (Rank p = 0; p < N; ++p) {
+    auto& row = send[static_cast<std::size_t>(p)];
+    row.reserve(static_cast<std::size_t>(N));
+    for (Rank q = 0; q < N; ++q) row.push_back(svc_payload(id, N, p, q));
+  }
+  return send;
+}
+
+/// recv[q][p] must equal session `id`'s svc_payload(p, q) everywhere.
+bool svc_matches_oracle(Rank N, SessionId id,
+                        const std::vector<std::vector<std::int64_t>>& recv) {
+  for (Rank q = 0; q < N; ++q) {
+    for (Rank p = 0; p < N; ++p) {
+      if (recv[static_cast<std::size_t>(q)][static_cast<std::size_t>(p)] !=
+          svc_payload(id, N, p, q)) {
+        return false;
+      }
+    }
+  }
+  return true;
 }
 
 /// Multi-session kill-one-tenant sweep over one shape: `sessions_k`
@@ -415,27 +471,7 @@ bool svc_chaos_sweep(const TorusShape& shape, int sessions_k, std::uint64_t base
       }
     }
   }
-  const auto make_send = [&](SessionId id) {
-    std::vector<std::vector<std::int64_t>> send(static_cast<std::size_t>(N));
-    for (Rank p = 0; p < N; ++p) {
-      auto& row = send[static_cast<std::size_t>(p)];
-      row.reserve(static_cast<std::size_t>(N));
-      for (Rank q = 0; q < N; ++q) row.push_back(svc_payload(id, N, p, q));
-    }
-    return send;
-  };
-  const auto matches_oracle = [&](SessionId id,
-                                  const std::vector<std::vector<std::int64_t>>& recv) {
-    for (Rank q = 0; q < N; ++q) {
-      for (Rank p = 0; p < N; ++p) {
-        if (recv[static_cast<std::size_t>(q)][static_cast<std::size_t>(p)] !=
-            svc_payload(id, N, p, q)) {
-          return false;
-        }
-      }
-    }
-    return true;
-  };
+  const std::string svc_repro = repro("--sessions=" + std::to_string(sessions_k), base_seed);
 
   // Single-session baseline: fixes the per-session sent-parcel count
   // every multi-session survivor must reproduce exactly.
@@ -446,12 +482,13 @@ bool svc_chaos_sweep(const TorusShape& shape, int sessions_k, std::uint64_t base
     options.max_queued = 1;
     SessionManager mgr(shape, CostParams{}, options);
     SessionRequest req;
-    req.send = make_send(0);
+    req.send = svc_send_matrix(N, 0);
     mgr.submit(std::move(req));
     mgr.run_until_idle();
     const SessionRecord rec = mgr.record(0);
-    if (rec.state != SessionState::kCompleted || !matches_oracle(0, mgr.take_result(0))) {
-      std::cerr << "FAIL " << shape.to_string() << ": single-session baseline broke\n";
+    if (rec.state != SessionState::kCompleted || !svc_matches_oracle(N, 0, mgr.take_result(0))) {
+      std::cerr << "FAIL " << shape.to_string() << ": single-session baseline broke (session 0)\n"
+                << svc_repro << '\n';
       return false;
     }
     baseline_sent = rec.sent_parcels;
@@ -480,7 +517,7 @@ bool svc_chaos_sweep(const TorusShape& shape, int sessions_k, std::uint64_t base
                        ? "victim"
                        : "t" + std::to_string(id % 3);
       req.weight = static_cast<int>(1 + id % 3);
-      req.send = make_send(id);
+      req.send = svc_send_matrix(N, id);
       if (id == victim) {
         if (std::string(mode.name) == "crash") req.inject.crash_phase = inject_phase;
         if (std::string(mode.name) == "corrupt") req.inject.corrupt_phase = inject_phase;
@@ -494,7 +531,8 @@ bool svc_chaos_sweep(const TorusShape& shape, int sessions_k, std::uint64_t base
     if (stats.rejected != 0 || stats.deadline_missed() != 0 || stats.cancelled_queued != 0) {
       std::cerr << "FAIL " << shape.to_string() << ": svc chaos mode " << mode.name
                 << " leaked blast radius into admission (" << stats.rejected << " rejected, "
-                << stats.deadline_missed() << " deadline misses)\n";
+                << stats.deadline_missed() << " deadline misses; victim session " << victim
+                << ")\n" << svc_repro << '\n';
       return false;
     }
     for (SessionId id = 0; id < sessions_k; ++id) {
@@ -503,7 +541,8 @@ bool svc_chaos_sweep(const TorusShape& shape, int sessions_k, std::uint64_t base
         if (rec.state != mode.expected || rec.error.empty()) {
           std::cerr << "FAIL " << shape.to_string() << ": victim of mode " << mode.name
                     << " retired as " << to_string(rec.state) << " (error: \"" << rec.error
-                    << "\"), expected " << to_string(mode.expected) << " with a diagnostic\n";
+                    << "\"), expected " << to_string(mode.expected) << " with a diagnostic\n"
+                    << svc_repro << '\n';
           return false;
         }
         continue;
@@ -511,30 +550,321 @@ bool svc_chaos_sweep(const TorusShape& shape, int sessions_k, std::uint64_t base
       if (rec.state != SessionState::kCompleted) {
         std::cerr << "FAIL " << shape.to_string() << ": survivor " << id << " of mode "
                   << mode.name << " retired as " << to_string(rec.state) << " (" << rec.error
-                  << ") — the victim's failure escaped its session\n";
+                  << ") — the victim's failure escaped its session\n" << svc_repro << '\n';
         return false;
       }
       if (rec.sent_parcels != baseline_sent) {
         std::cerr << "FAIL " << shape.to_string() << ": survivor " << id << " of mode "
                   << mode.name << " sent " << rec.sent_parcels << " parcels, baseline "
-                  << baseline_sent << " — interleaving changed the wire traffic\n";
+                  << baseline_sent << " — interleaving changed the wire traffic\n"
+                  << svc_repro << '\n';
         return false;
       }
-      if (!matches_oracle(id, mgr.take_result(id))) {
+      if (!svc_matches_oracle(N, id, mgr.take_result(id))) {
         std::cerr << "FAIL " << shape.to_string() << ": SILENT CORRUPTION in survivor " << id
-                  << " of mode " << mode.name << '\n';
+                  << " of mode " << mode.name << '\n' << svc_repro << '\n';
         return false;
       }
     }
     if (mgr.outstanding_frames() != 0) {
       std::cerr << "FAIL " << shape.to_string() << ": mode " << mode.name << " leaked "
-                << mgr.outstanding_frames() << " arena frames\n";
+                << mgr.outstanding_frames() << " arena frames\n" << svc_repro << '\n';
       return false;
     }
   }
   std::cout << "  svc chaos " << shape.to_string() << ": " << sessions_k << " sessions x "
             << modes.size() << " victim modes — all survivors byte-identical at "
             << baseline_sent << " parcels each, victims isolated, 0 leaked frames\n";
+  return true;
+}
+
+/// Storm sweep over one shape: `sessions_k` (min 4) equal-weight
+/// sessions run concurrently under torexd's health layer while the
+/// service fault model throws a correlated mid-flight storm at them:
+///   * a flapping channel on a scheduled quarter-phase route — two dead
+///     windows, so the breaker must open on discovery, half-open after
+///     its cool-off, fail the probe into the second window (a flap),
+///     and re-close once the channel stays up;
+///   * a transient channel fault covering the whole pair phase;
+///   * a node crash+rejoin feeding the phi-accrual detector, whose
+///     messages must be remap-hosted (§6), never faulted;
+///   * one extra session arriving mid-storm, which admission must plan
+///     around the live quarantine.
+/// The faulted channels are read off a recorded trace, so the storm
+/// always lands on channels the schedule actually crosses. Asserted
+/// invariants: zero silent corruption (every session completes
+/// byte-identical to the transpose oracle); bounded retry amplification
+/// (parcels resent == budget tokens granted <= capacity + refilled,
+/// zero denials in the generous round); first-discoverer-heals-all
+/// (each channel's degradation-chain walks <= its covering fault
+/// windows, and later sessions pay quarantine hits + reroutes instead
+/// of retries); detector suspicion observed; breakers converge back to
+/// closed within a bounded number of idle health ticks; zero leaked
+/// arena frames. A second, tight-budget round re-runs a single
+/// transient fault with the bucket sized to exactly one retransmission
+/// burst: mid-discovery the budget denies, the phase defers (re-queued
+/// under the fair scheduler, nothing fired), and every session must
+/// still complete once the bucket refills. On any failure the breaker
+/// table is saved as a .txt artifact for CI to upload.
+bool storm_sweep(const TorusShape& shape, int sessions_k, std::uint64_t base_seed) {
+  const Rank N = shape.num_nodes();
+  const int K = std::max(sessions_k, 4);
+  const SuhShinAape algo(shape);
+  const Torus torus(shape);
+  const int n = shape.num_dims();
+  const int quarter = n + 1;  // the two phases every shape executes
+  const int pair = n + 2;
+  // With K equal-weight sessions all arriving at virtual time zero the
+  // WFQ scheduler round-robins: fault tick t dispatches phase t/K + 1,
+  // so phase P spans ticks [(P-1)K, PK) and windows can be aimed.
+  const std::int64_t sa = static_cast<std::int64_t>(quarter - 1) * K;
+  const std::int64_t sb = static_cast<std::int64_t>(pair - 1) * K;
+  const Rank crash = N - 1;
+  const std::string storm_repro = repro("--storm=" + std::to_string(sessions_k), base_seed);
+
+  // Pick the victims from real traffic: one step-1 quarter-phase
+  // transfer and one step-1 pair-phase transfer, neither touching the
+  // crashed node (hosted messages skip route enforcement and would
+  // never discover the fault).
+  TransferRecord xfer_a, xfer_b;
+  {
+    ExchangeEngine engine(algo, EngineOptions{});
+    const ExchangeTrace trace = engine.run_verified();
+    bool have_a = false, have_b = false;
+    for (const StepRecord& step : trace.steps) {
+      if (step.step != 1) continue;
+      for (const TransferRecord& t : step.transfers) {
+        if (t.src == crash || t.dst == crash) continue;
+        if (step.phase == quarter && !have_a) {
+          xfer_a = t;
+          have_a = true;
+        }
+        if (step.phase == pair && !have_b &&
+            (!have_a ||
+             torus.channel_id(t.src, t.dir) != torus.channel_id(xfer_a.src, xfer_a.dir))) {
+          xfer_b = t;
+          have_b = true;
+        }
+      }
+    }
+    if (!have_a || !have_b) {
+      std::cerr << "FAIL " << shape.to_string()
+                << ": storm setup found no quarter/pair transfer to fault\n"
+                << storm_repro << '\n';
+      return false;
+    }
+  }
+  const ChannelId flap_id = torus.channel_id(xfer_a.src, xfer_a.dir);
+  const ChannelId transient_id = torus.channel_id(xfer_b.src, xfer_b.dir);
+
+  // Window plan (ticks): flap windows [sa+1, sa+4) and [sa+5, sa+8) —
+  // the second overlaps every possible probe tick of the first open's
+  // cool-off (4 + jitter in [0,2]), forcing at least one probe-failure
+  // flap; the pair-phase fault outlives the nominal run so convergence
+  // is exercised from a still-open breaker; the crash covers the
+  // quarter phase and rejoins.
+  FaultModel storm;
+  storm.flap_channel(xfer_a.src, xfer_a.dir, sa + 1, 3, 1, 2);
+  storm.fail_channel(xfer_b.src, xfer_b.dir, sb, sb + K + 8);
+  storm.crash_node(crash, sa, sa + K);
+
+  SessionManagerOptions options;
+  options.max_active = K + 1;
+  options.max_queued = K + 1;
+  options.service_faults = storm;
+  options.health.enabled = true;
+  options.health.breaker.error_threshold = 2;
+  options.health.breaker.open_ticks = 4;
+  options.health.breaker.probe_jitter = 2;
+  options.health.breaker.seed = base_seed ^ 0x5102'7d9euLL;
+  options.health.retries.capacity = 1'000'000;  // generous: nothing defers
+  options.health.retries.refill_per_time = 1e-6;
+  // Suspect after ~3.5 silent ticks so the quarter-phase crash window
+  // (>= 4 ticks at the K floor) is always detected before rejoin.
+  options.health.detector.phi_threshold = 1.5;
+  SessionManager mgr(shape, CostParams{}, options);
+  const double pc = mgr.phase_cost();
+
+  const auto fail = [&](SessionManager& m, const std::string& what) {
+    std::cerr << "FAIL " << shape.to_string() << ": " << what << '\n' << storm_repro << '\n';
+    const std::string path = "health_fail_" + shape.to_string() + ".txt";
+    std::ofstream out(path);
+    if (out) {
+      out << m.health_dump();
+      std::cerr << "  breaker-state artifact saved: " << path << '\n';
+    }
+    return false;
+  };
+  const auto check_sessions = [&](SessionManager& m, SessionId count, const char* round) {
+    for (SessionId id = 0; id < count; ++id) {
+      const SessionRecord rec = m.record(id);
+      if (rec.state != SessionState::kCompleted) {
+        return fail(m, std::string(round) + " session " + std::to_string(id) + " retired as " +
+                           to_string(rec.state) + " (" + rec.error +
+                           ") instead of completing through the storm");
+      }
+      if (!svc_matches_oracle(N, id, m.take_result(id))) {
+        return fail(m, "SILENT CORRUPTION in " + std::string(round) + " session " +
+                           std::to_string(id));
+      }
+    }
+    return true;
+  };
+  // Closes every breaker by advancing idle health ticks; returns the
+  // ticks spent or -1 when the registry refuses to converge.
+  const auto settle = [&](SessionManager& m) {
+    std::int64_t ticks = 0;
+    while (!m.health_stats().all_closed() && ticks < 256) {
+      m.advance_health();
+      ++ticks;
+    }
+    return m.health_stats().all_closed() ? ticks : -1;
+  };
+
+  for (SessionId id = 0; id < K; ++id) {
+    SessionRequest req;
+    req.send = svc_send_matrix(N, id);
+    mgr.submit(std::move(req));
+  }
+  {
+    // The mid-storm arrival: admitted while the flap's first window has
+    // the breaker open, so admission must plan around the quarantine.
+    SessionRequest late;
+    late.arrival = static_cast<double>(sa + 2) * pc;
+    late.send = svc_send_matrix(N, K);
+    mgr.submit(std::move(late));
+  }
+  mgr.run_until_idle();
+
+  if (!check_sessions(mgr, K + 1, "storm")) return false;
+  const HealthStats hs = mgr.health_stats();
+  if (hs.errors == 0 || hs.opens < 3) {
+    return fail(mgr, "storm never tripped its breakers (errors=" + std::to_string(hs.errors) +
+                         ", opens=" + std::to_string(hs.opens) + ", expected >= 3 opens)");
+  }
+  if (hs.flaps < 1) {
+    return fail(mgr, "flapping channel produced no breaker flap (probe should have failed "
+                     "into the second dead window)");
+  }
+  if (hs.suspicions < 1) {
+    return fail(mgr, "phi-accrual detector never suspected the crashed node " +
+                         std::to_string(crash));
+  }
+  if (hs.remap_hosted < 1) {
+    return fail(mgr, "no message was remap-hosted while node " + std::to_string(crash) +
+                         " was down");
+  }
+  if (hs.quarantine_hits < 1 || hs.rerouted_messages < 1) {
+    return fail(mgr, "later sessions did not heal off the first discoverer's quarantine (" +
+                         std::to_string(hs.quarantine_hits) + " hits, " +
+                         std::to_string(hs.rerouted_messages) + " reroutes)");
+  }
+  if (hs.planned_around < 1) {
+    return fail(mgr, "the mid-storm arrival was not planned around the live quarantine");
+  }
+  if (hs.deferrals != 0 || hs.retry_denied != 0) {
+    return fail(mgr, "the generous budget denied retries (" +
+                         std::to_string(hs.retry_denied) + " tokens denied, " +
+                         std::to_string(hs.deferrals) + " deferrals)");
+  }
+  if (hs.resent_parcels != hs.retry_granted ||
+      hs.retry_granted > hs.retry_capacity + hs.retry_refilled) {
+    return fail(mgr, "RETRY AMPLIFICATION UNBOUNDED: " + std::to_string(hs.resent_parcels) +
+                         " parcels resent vs " + std::to_string(hs.retry_granted) +
+                         " granted (capacity " + std::to_string(hs.retry_capacity) +
+                         " + refilled " + std::to_string(hs.retry_refilled) + ")");
+  }
+  for (const ResourceHealth& r : hs.resources) {
+    if (r.permanent) {
+      return fail(mgr, r.describe(torus) + " — permanently quarantined by a transient storm");
+    }
+    if (r.kind != FaultKind::kChannel) {
+      if (r.chain_walks != 0) {
+        return fail(mgr, r.describe(torus) + " — node breakers host, they never walk the "
+                                             "degradation chain");
+      }
+      continue;
+    }
+    // Covering windows: two flap windows, one pair-phase window, and
+    // one crash window for every channel touching the crashed node (a
+    // node fault kills all its channels, so transit discovery there is
+    // legitimate).
+    const Channel ch = torus.channel_of(r.id);
+    std::int64_t windows = 0;
+    if (r.id == flap_id) windows += 2;
+    if (r.id == transient_id) windows += 1;
+    if (ch.from == crash || torus.neighbor(ch.from, ch.direction) == crash) windows += 1;
+    if (r.chain_walks > windows) {
+      return fail(mgr, r.describe(torus) + " — " + std::to_string(r.chain_walks) +
+                           " degradation-chain walks for " + std::to_string(windows) +
+                           " covering fault window(s): first-discoverer-heals-all broken");
+    }
+  }
+  const std::int64_t settled = settle(mgr);
+  if (settled < 0) {
+    return fail(mgr, "breakers failed to converge to closed within 256 idle health ticks "
+                     "after the storm passed");
+  }
+  if (mgr.outstanding_frames() != 0) {
+    return fail(mgr, "storm leaked " + std::to_string(mgr.outstanding_frames()) +
+                         " arena frames");
+  }
+
+  // Tight-budget round: one transient fault on the same quarter-phase
+  // channel, bucket sized to exactly one retransmission burst of that
+  // message. The discoverer's first attempt drains the bucket, the
+  // second must defer; the deferred phase re-queues and completes after
+  // the per-dispatch refill (2 bursts per phase cost).
+  FaultModel squall;
+  squall.fail_channel(xfer_a.src, xfer_a.dir, sa + 1, sa + 3);
+  SessionManagerOptions tight;
+  tight.max_active = K;
+  tight.max_queued = K;
+  tight.service_faults = squall;
+  tight.health.enabled = true;
+  tight.health.breaker = options.health.breaker;
+  tight.health.retries.capacity = xfer_a.blocks;
+  tight.health.retries.refill_per_time = 2.0 * static_cast<double>(xfer_a.blocks) / pc;
+  SessionManager tmgr(shape, CostParams{}, tight);
+  for (SessionId id = 0; id < K; ++id) {
+    SessionRequest req;
+    req.send = svc_send_matrix(N, id);
+    tmgr.submit(std::move(req));
+  }
+  tmgr.run_until_idle();
+  if (!check_sessions(tmgr, K, "tight-budget")) return false;
+  const HealthStats ts = tmgr.health_stats();
+  if (ts.deferrals < 1 || ts.retry_denied < 1) {
+    return fail(tmgr, "tight budget never deferred a retry (" +
+                          std::to_string(ts.retry_denied) + " tokens denied, " +
+                          std::to_string(ts.deferrals) +
+                          " deferrals) — retries beyond budget must queue, not fire");
+  }
+  if (ts.resent_parcels != ts.retry_granted ||
+      ts.retry_granted > ts.retry_capacity + ts.retry_refilled) {
+    return fail(tmgr, "RETRY AMPLIFICATION UNBOUNDED under the tight budget: " +
+                          std::to_string(ts.resent_parcels) + " parcels resent vs capacity " +
+                          std::to_string(ts.retry_capacity) + " + refilled " +
+                          std::to_string(ts.retry_refilled));
+  }
+  if (settle(tmgr) < 0) {
+    return fail(tmgr, "tight-budget breaker failed to converge to closed");
+  }
+  if (tmgr.outstanding_frames() != 0) {
+    return fail(tmgr, "tight-budget round leaked " +
+                          std::to_string(tmgr.outstanding_frames()) + " arena frames");
+  }
+
+  std::cout << "  storm " << shape.to_string() << ": " << K << "+1 sessions — " << hs.errors
+            << " errors, " << hs.opens << " opens, " << hs.flaps << " flap(s), "
+            << hs.suspicions << " suspicion(s), " << hs.resent_parcels
+            << " parcels resent (== granted, 0 denied), " << hs.quarantine_hits
+            << " quarantine hits, " << hs.rerouted_messages << " reroutes, "
+            << hs.remap_hosted << " hosted, " << hs.chain_walks
+            << " chain walk(s), breakers closed after " << settled
+            << " idle tick(s); tight round: " << ts.deferrals << " deferral(s), "
+            << ts.retry_denied << " tokens denied, all sessions completed, "
+            << "0 silent corruptions\n";
   return true;
 }
 
@@ -545,7 +875,7 @@ int main(int argc, char** argv) {
     const CliFlags flags = CliFlags::parse(
         argc, argv,
         {"max-nodes", "max-dims", "flit-level", "layout", "static-nodes", "faults", "chaos",
-         "seed", "trace", "kill-rate", "sessions"});
+         "seed", "trace", "kill-rate", "sessions", "storm"});
     constexpr std::int64_t kIntMax = std::numeric_limits<int>::max();
     const std::int64_t max_nodes = flags.get_int("max-nodes", 800, 4, 1'000'000);
     const int max_dims = static_cast<int>(flags.get_int("max-dims", 4, 2, 16));
@@ -555,6 +885,7 @@ int main(int argc, char** argv) {
     const int chaos_runs = static_cast<int>(flags.get_int("chaos", 0, 0, kIntMax));
     const int kill_rate = static_cast<int>(flags.get_int("kill-rate", 0, 0, 100));
     const int svc_sessions = static_cast<int>(flags.get_int("sessions", 0, 0, 4096));
+    const int storm_k = static_cast<int>(flags.get_int("storm", 0, 0, 4096));
     const std::uint64_t base_seed = static_cast<std::uint64_t>(
         flags.get_int("seed", 0, 0, std::numeric_limits<std::int64_t>::max()));
     const std::string trace_path = flags.get_string("trace", "");
@@ -669,6 +1000,18 @@ int main(int argc, char** argv) {
                 << " sessions/shape, seed=" << base_seed << "\n";
       for (const auto& extents : std::vector<std::vector<std::int32_t>>{{4, 4}, {8, 4, 4}}) {
         if (!svc_chaos_sweep(TorusShape(extents), svc_sessions, base_seed)) return 1;
+      }
+    }
+
+    // Storm sweep on the same reference shapes: concurrent sessions
+    // under the health layer ride out a flapping channel, a transient
+    // pair-phase fault, and a node crash+rejoin; breakers, the retry
+    // budget, and the detector must keep the blast radius bounded.
+    if (storm_k > 0) {
+      std::cout << "storm sweep: " << storm_k << " sessions/shape (floor 4), seed=" << base_seed
+                << "\n";
+      for (const auto& extents : std::vector<std::vector<std::int32_t>>{{4, 4}, {8, 4, 4}}) {
+        if (!storm_sweep(TorusShape(extents), storm_k, base_seed)) return 1;
       }
     }
 
