@@ -63,16 +63,6 @@ bool matches_oracle(Rank N, SessionId id, const std::vector<std::vector<std::int
   return true;
 }
 
-double percentile(std::vector<double> values, double p) {
-  if (values.empty()) return 0.0;
-  std::sort(values.begin(), values.end());
-  const double rank = p * static_cast<double>(values.size() - 1);
-  const std::size_t lo = static_cast<std::size_t>(rank);
-  const std::size_t hi = std::min(lo + 1, values.size() - 1);
-  const double frac = rank - static_cast<double>(lo);
-  return values[lo] * (1.0 - frac) + values[hi] * frac;
-}
-
 /// Which failure pressure a run is under. kStorm's generous budget
 /// converts every fault into reroutes/resends without stalling the
 /// virtual clock; kTightBudget sizes the retry bucket to exactly one

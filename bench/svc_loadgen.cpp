@@ -40,6 +40,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -49,6 +50,7 @@
 
 #include "costmodel/params.hpp"
 #include "obs/chrome_trace.hpp"
+#include "obs/exposition.hpp"
 #include "obs/recorder.hpp"
 #include "svc/session_manager.hpp"
 #include "util/cli.hpp"
@@ -102,7 +104,8 @@ std::int64_t payload(SessionId id, Rank p, Rank q) {
 SessionRequest make_request(SessionId id, Rank N, double arrival, double phase_cost,
                             SplitMix64& rng) {
   SessionRequest req;
-  req.tenant = "t" + std::to_string(rng.next() % 8);
+  req.tenant = "t";  // two-step concat dodges GCC 12's -Wrestrict false positive
+  req.tenant += std::to_string(rng.next() % 8);
   req.weight = static_cast<int>(1 + rng.next() % 4);
   req.arrival = arrival;
   if (rng.next() % 10 < 3) {
@@ -129,10 +132,23 @@ void check(bool ok, const std::string& what) {
   std::cerr << "SELF-CHECK FAILED: " << what << "\n";
 }
 
-double percentile(std::vector<double> sorted, double p) {
-  if (sorted.empty()) return 0.0;
-  const auto idx = static_cast<std::size_t>(p * static_cast<double>(sorted.size() - 1));
-  return sorted[idx];
+/// Publishes the live exposition snapshot atomically: write to a
+/// sibling .tmp, then rename over the target. Readers (torex_top)
+/// therefore never observe a torn file.
+void publish_snapshot(const SessionManager& mgr, const std::string& path) {
+  const std::string text = prometheus_text(mgr.exposition_snapshot());
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    out << text;
+    if (!out) {
+      check(false, "cannot write snapshot file " + tmp);
+      return;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    check(false, "cannot publish snapshot file " + path);
+  }
 }
 
 }  // namespace
@@ -141,13 +157,16 @@ int main(int argc, char** argv) {
   try {
     const CliFlags flags = CliFlags::parse(
         argc, argv,
-        {"shape", "sessions", "seed", "threads", "mean-gap", "max-active", "max-queued", "out"});
+        {"shape", "sessions", "seed", "threads", "mean-gap", "max-active", "max-queued", "out",
+         "snapshot", "snapshot-every"});
     const TorusShape shape = parse_torus(flags.get_string("shape", "4x4"));
     const auto num_sessions = flags.get_int("sessions", 1200, 1, 1000000);
     const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 42, 0, 1LL << 62));
     const int threads = static_cast<int>(flags.get_int("threads", 0, 0, 64));
     const double mean_gap = flags.get_double("mean-gap", 3.0);
     const std::string out_path = flags.get_string("out", "BENCH_svc.json");
+    const std::string snapshot_path = flags.get_string("snapshot", "");
+    const auto snapshot_every = flags.get_int("snapshot-every", 64, 1, 1 << 20);
     const Rank N = shape.num_nodes();
 
     SessionManagerOptions options;
@@ -160,6 +179,15 @@ int main(int argc, char** argv) {
     options.quotas["t6"].max_sessions_in_flight = 1;
     Recorder recorder;
     options.obs = &recorder;
+    // Flight dumps from this run carry the exact command to replay it.
+    {
+      std::ostringstream hint;
+      hint << "svc_loadgen --shape=" << flags.get_string("shape", "4x4")
+           << " --sessions=" << num_sessions << " --seed=" << seed << " --threads=" << threads
+           << " --mean-gap=" << mean_gap << " --max-active=" << options.max_active
+           << " --max-queued=" << options.max_queued;
+      options.repro_hint = hint.str();
+    }
 
     SessionManager mgr(shape, CostParams{}, options);
     const double phase_cost = mgr.phase_cost();
@@ -190,7 +218,16 @@ int main(int argc, char** argv) {
     if (threads == 0) {
       std::int64_t i = 0;
       for (auto& req : plan) plan_tag[static_cast<std::size_t>(mgr.submit(std::move(req)))] = i++;
-      mgr.run_until_idle();
+      if (snapshot_path.empty()) {
+        mgr.run_until_idle();
+      } else {
+        // Live-feed mode: publish the exposition snapshot every K
+        // dispatched phases so torex_top can watch the run.
+        std::int64_t dispatched = 0;
+        while (mgr.run_one()) {
+          if (++dispatched % snapshot_every == 0) publish_snapshot(mgr, snapshot_path);
+        }
+      }
     } else {
       // Concurrency soak: submitters and a canceller race the scheduler.
       cancels_injected = true;
@@ -284,6 +321,27 @@ int main(int argc, char** argv) {
 
     // --- Hygiene: the shared arena leaked nothing.
     check(mgr.outstanding_frames() == 0, "arena must report zero outstanding frames at idle");
+
+    // --- Exposition: the labeled snapshot agrees with SvcStats and
+    // both wire formats lint clean.
+    const MetricsSnapshot expo = mgr.exposition_snapshot();
+    check(expo.counter_value("svc.offered") == stats.offered,
+          "exposition svc.offered must match stats");
+    check(expo.counter_value("svc.completed") == stats.completed,
+          "exposition svc.completed must match stats");
+    check(expo.counter_value("svc.parcels_delivered") == stats.parcels_delivered,
+          "exposition svc.parcels_delivered must match stats");
+    check(expo.gauge_value("svc.active_sessions") == 0,
+          "exposition active-sessions gauge must read zero at idle");
+    std::string lint_error;
+    check(prometheus_text_well_formed(prometheus_text(expo), &lint_error),
+          "prometheus exposition must lint: " + lint_error);
+    check(json_well_formed(json_snapshot(expo), &lint_error),
+          "json exposition must lint: " + lint_error);
+    if (!snapshot_path.empty()) {
+      publish_snapshot(mgr, snapshot_path);
+      std::cout << "published final snapshot to " << snapshot_path << "\n";
+    }
 
     std::sort(latencies.begin(), latencies.end());
     const double p50 = percentile(latencies, 0.50);

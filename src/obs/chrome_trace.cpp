@@ -106,6 +106,13 @@ void write_chrome_trace(std::ostream& os, const Telemetry& telemetry) {
     first = false;
   };
 
+  // Telemetry accounting metadata: a nonzero dropped_events means the
+  // trace is incomplete (ring buffers wrapped) — tools treat it as a
+  // hard failure rather than analyzing a partial timeline.
+  sep();
+  os << "{\"name\":\"telemetry\",\"ph\":\"M\",\"pid\":0,\"args\":{\"streams\":"
+     << telemetry.streams << ",\"dropped_events\":" << telemetry.dropped_events << "}}";
+
   // Process-name metadata: one process per torus node plus the run scope.
   std::set<std::int32_t> nodes;
   for (const TelemetryEvent& e : telemetry.events) nodes.insert(e.node);
@@ -455,6 +462,11 @@ void print_phase_summary(std::ostream& os, const PhaseSummary& summary) {
   table.print(os);
   os << "telemetry: " << summary.streams << " stream(s), " << summary.dropped_events
      << " dropped event(s)\n";
+  if (summary.dropped_events > 0) {
+    os << "WARNING: the trace is incomplete (" << summary.dropped_events
+       << " event(s) dropped) — phase extents above undercount; raise "
+          "ObsOptions::events_per_thread\n";
+  }
 }
 
 }  // namespace torex

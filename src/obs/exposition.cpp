@@ -1,0 +1,329 @@
+#include "obs/exposition.hpp"
+
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+namespace torex {
+
+namespace {
+
+bool valid_name_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+bool valid_name_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+bool valid_label_key_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool valid_label_key_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Prometheus label-value escaping: backslash, double quote, newline.
+void append_escaped_label_value(std::string& out, const std::string& value) {
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+}
+
+void append_labels(std::string& out, const MetricLabels& labels) {
+  if (labels.empty()) return;
+  out += '{';
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += sanitize_metric_name(key);
+    out += "=\"";
+    append_escaped_label_value(out, value);
+    out += '"';
+  }
+  out += '}';
+}
+
+/// Labels plus one extra pair (for the histogram `le` dimension).
+void append_labels_plus(std::string& out, const MetricLabels& labels, const std::string& key,
+                        const std::string& value) {
+  MetricLabels extended = labels;
+  extended.emplace_back(key, value);
+  append_labels(out, extended);
+}
+
+void append_json_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c) & 0xff);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_json_labels(std::string& out, const MetricLabels& labels) {
+  out += "\"labels\":{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    append_json_escaped(out, key);
+    out += "\":\"";
+    append_json_escaped(out, value);
+    out += '"';
+  }
+  out += '}';
+}
+
+}  // namespace
+
+std::string sanitize_metric_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (const char c : name) {
+    out += valid_name_char(c) ? c : '_';
+  }
+  if (out.empty() || !valid_name_start(out[0])) out.insert(out.begin(), '_');
+  return out;
+}
+
+std::string prometheus_text(const MetricsSnapshot& snapshot) {
+  std::string out;
+  out += "# torex-exposition-version " + std::to_string(kExpositionVersion) + "\n";
+
+  const std::string* last_family = nullptr;
+  for (const auto& c : snapshot.counters) {
+    const std::string sname = sanitize_metric_name(c.name);
+    if (last_family == nullptr || *last_family != c.name) {
+      out += "# TYPE " + sname + " counter\n";
+      last_family = &c.name;
+    }
+    out += sname;
+    append_labels(out, c.labels);
+    out += ' ';
+    out += std::to_string(c.value);
+    out += '\n';
+  }
+  last_family = nullptr;
+  for (const auto& g : snapshot.gauges) {
+    const std::string sname = sanitize_metric_name(g.name);
+    if (last_family == nullptr || *last_family != g.name) {
+      out += "# TYPE " + sname + " gauge\n";
+      last_family = &g.name;
+    }
+    out += sname;
+    append_labels(out, g.labels);
+    out += ' ';
+    out += std::to_string(g.value);
+    out += '\n';
+  }
+  last_family = nullptr;
+  for (const auto& h : snapshot.histograms) {
+    const std::string sname = sanitize_metric_name(h.name);
+    if (last_family == nullptr || *last_family != h.name) {
+      out += "# TYPE " + sname + " histogram\n";
+      last_family = &h.name;
+    }
+    std::int64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += i < h.counts.size() ? h.counts[i] : 0;
+      out += sname + "_bucket";
+      append_labels_plus(out, h.labels, "le", std::to_string(h.bounds[i]));
+      out += ' ';
+      out += std::to_string(cumulative);
+      out += '\n';
+    }
+    out += sname + "_bucket";
+    append_labels_plus(out, h.labels, "le", "+Inf");
+    out += ' ';
+    out += std::to_string(h.count);
+    out += '\n';
+    out += sname + "_sum";
+    append_labels(out, h.labels);
+    out += ' ';
+    out += std::to_string(h.sum);
+    out += '\n';
+    out += sname + "_count";
+    append_labels(out, h.labels);
+    out += ' ';
+    out += std::to_string(h.count);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string json_snapshot(const MetricsSnapshot& snapshot) {
+  std::string out;
+  out += "{\"version\":" + std::to_string(kExpositionVersion);
+  out += ",\"counters\":[";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    const auto& c = snapshot.counters[i];
+    if (i) out += ',';
+    out += "{\"name\":\"";
+    append_json_escaped(out, c.name);
+    out += "\",";
+    append_json_labels(out, c.labels);
+    out += ",\"value\":" + std::to_string(c.value) + "}";
+  }
+  out += "],\"gauges\":[";
+  for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    const auto& g = snapshot.gauges[i];
+    if (i) out += ',';
+    out += "{\"name\":\"";
+    append_json_escaped(out, g.name);
+    out += "\",";
+    append_json_labels(out, g.labels);
+    out += ",\"value\":" + std::to_string(g.value) + "}";
+  }
+  out += "],\"histograms\":[";
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const auto& h = snapshot.histograms[i];
+    if (i) out += ',';
+    out += "{\"name\":\"";
+    append_json_escaped(out, h.name);
+    out += "\",";
+    append_json_labels(out, h.labels);
+    out += ",\"bounds\":[";
+    for (std::size_t b = 0; b < h.bounds.size(); ++b) {
+      if (b) out += ',';
+      out += std::to_string(h.bounds[b]);
+    }
+    out += "],\"counts\":[";
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      if (b) out += ',';
+      out += std::to_string(h.counts[b]);
+    }
+    out += "],\"count\":" + std::to_string(h.count);
+    out += ",\"sum\":" + std::to_string(h.sum);
+    out += ",\"min\":" + std::to_string(h.min);
+    out += ",\"max\":" + std::to_string(h.max) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+namespace {
+
+bool fail_at(std::string* error, std::size_t line_no, const std::string& why) {
+  if (error != nullptr) {
+    *error = "line " + std::to_string(line_no) + ": " + why;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool parse_prometheus_text(const std::string& text, std::vector<PromSample>* out,
+                           std::string* error, int* version_out) {
+  if (version_out != nullptr) *version_out = 0;
+  std::size_t pos = 0;
+  std::size_t line_no = 0;
+  const std::string version_prefix = "# torex-exposition-version ";
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++line_no;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      if (version_out != nullptr && line.compare(0, version_prefix.size(), version_prefix) == 0) {
+        *version_out = std::atoi(line.c_str() + version_prefix.size());
+      }
+      continue;
+    }
+    PromSample sample;
+    std::size_t i = 0;
+    // -- metric name --
+    if (!valid_name_start(line[i])) return fail_at(error, line_no, "bad metric name start");
+    while (i < line.size() && valid_name_char(line[i])) ++i;
+    sample.name = line.substr(0, i);
+    // -- optional label set --
+    if (i < line.size() && line[i] == '{') {
+      ++i;
+      while (true) {
+        if (i >= line.size()) return fail_at(error, line_no, "unterminated label set");
+        if (line[i] == '}') {
+          ++i;
+          break;
+        }
+        const std::size_t key_start = i;
+        if (!valid_label_key_start(line[i])) return fail_at(error, line_no, "bad label key");
+        while (i < line.size() && valid_label_key_char(line[i])) ++i;
+        const std::string key = line.substr(key_start, i - key_start);
+        if (i + 1 >= line.size() || line[i] != '=' || line[i + 1] != '"') {
+          return fail_at(error, line_no, "label '" + key + "' missing =\"value\"");
+        }
+        i += 2;
+        std::string value;
+        while (true) {
+          if (i >= line.size()) return fail_at(error, line_no, "unterminated label value");
+          const char c = line[i];
+          if (c == '"') {
+            ++i;
+            break;
+          }
+          if (c == '\\') {
+            if (i + 1 >= line.size()) return fail_at(error, line_no, "dangling escape");
+            const char esc = line[i + 1];
+            if (esc == '\\') value += '\\';
+            else if (esc == '"') value += '"';
+            else if (esc == 'n') value += '\n';
+            else return fail_at(error, line_no, "unknown escape in label value");
+            i += 2;
+            continue;
+          }
+          value += c;
+          ++i;
+        }
+        sample.labels.emplace_back(key, std::move(value));
+        if (i < line.size() && line[i] == ',') ++i;
+      }
+    }
+    // -- value --
+    if (i >= line.size() || line[i] != ' ') return fail_at(error, line_no, "missing value");
+    ++i;
+    const std::string value_str = line.substr(i);
+    if (value_str.empty()) return fail_at(error, line_no, "missing value");
+    if (value_str == "+Inf") {
+      sample.value = std::numeric_limits<double>::infinity();
+    } else if (value_str == "-Inf") {
+      sample.value = -std::numeric_limits<double>::infinity();
+    } else {
+      char* end = nullptr;
+      sample.value = std::strtod(value_str.c_str(), &end);
+      if (end == value_str.c_str() || *end != '\0') {
+        return fail_at(error, line_no, "bad sample value '" + value_str + "'");
+      }
+    }
+    if (out != nullptr) out->push_back(std::move(sample));
+  }
+  return true;
+}
+
+bool prometheus_text_well_formed(const std::string& text, std::string* error) {
+  return parse_prometheus_text(text, nullptr, error, nullptr);
+}
+
+}  // namespace torex

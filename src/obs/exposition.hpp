@@ -1,0 +1,69 @@
+// Metrics exposition: serialize a MetricsSnapshot for consumption
+// outside the process.
+//
+// Two wire formats, both versioned and both deterministic (the output
+// is a pure function of the snapshot — no wall-clock timestamps — so
+// golden tests can compare bytes):
+//
+//   * Prometheus text (prometheus_text): one sample per line,
+//     `name{key="value"} value`. Metric names are sanitized to the
+//     Prometheus charset (dots become underscores: `svc.offered` is
+//     exposed as `svc_offered`); labels survive verbatim (escaped).
+//     Histograms follow the Prometheus convention: cumulative
+//     `_bucket{le="..."}` series ending at `le="+Inf"`, plus `_sum`
+//     and `_count`. The first line is always the version comment
+//     `# torex-exposition-version N`. This is the format the live
+//     snapshot file uses (svc_loadgen --snapshot / torex_top): it is
+//     line-oriented, so a partial read fails loudly in the parser
+//     instead of silently truncating a nested structure.
+//
+//   * JSON (json_snapshot): `{"version":N,"counters":[...],...}` with
+//     original (unsanitized) metric names, for programmatic consumers.
+//     Validated by json_well_formed in tests.
+//
+// parse_prometheus_text is the inverse of prometheus_text for scalar
+// samples (every line becomes a PromSample; histogram series appear
+// under their exploded `_bucket`/`_sum`/`_count` names) and doubles as
+// the format linter via prometheus_text_well_formed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace torex {
+
+/// Version stamped into both exposition formats. Bump when the
+/// encoding of existing series changes (adding series is not a bump).
+inline constexpr int kExpositionVersion = 1;
+
+/// Maps a `subsystem.quantity` metric name into the Prometheus name
+/// charset [a-zA-Z_:][a-zA-Z0-9_:]*: dots and other invalid characters
+/// become underscores; a leading digit gains a '_' prefix.
+std::string sanitize_metric_name(const std::string& name);
+
+/// Renders the snapshot in Prometheus text format (see file comment).
+std::string prometheus_text(const MetricsSnapshot& snapshot);
+
+/// Renders the snapshot as a versioned JSON document.
+std::string json_snapshot(const MetricsSnapshot& snapshot);
+
+/// One parsed sample line of a Prometheus text exposition.
+struct PromSample {
+  std::string name;
+  MetricLabels labels;
+  double value = 0.0;
+};
+
+/// Parses Prometheus text into samples. Comment and blank lines are
+/// skipped; `# torex-exposition-version N` sets `version_out` when
+/// non-null (0 when the comment is absent). Returns false and sets
+/// `error` (when non-null) on the first malformed line.
+bool parse_prometheus_text(const std::string& text, std::vector<PromSample>* out,
+                           std::string* error = nullptr, int* version_out = nullptr);
+
+/// Format linter: true iff every line of `text` parses.
+bool prometheus_text_well_formed(const std::string& text, std::string* error = nullptr);
+
+}  // namespace torex

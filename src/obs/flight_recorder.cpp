@@ -1,0 +1,300 @@
+#include "obs/flight_recorder.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/assert.hpp"
+
+namespace torex {
+
+namespace {
+
+constexpr int kDumpVersion = 1;
+
+/// Reasons and repro lines are single lines in the dump; fold any
+/// embedded newline so the line-oriented parser stays honest.
+std::string one_line(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void FlightRecorderOptions::validate() const {
+  TOREX_REQUIRE(ring_capacity >= 2, "flight recorder ring needs at least 2 slots");
+  TOREX_REQUIRE(max_sessions >= 1, "flight recorder must track at least one session");
+}
+
+FlightRecorder::FlightRecorder(FlightRecorderOptions options) : options_(options) {
+  options_.validate();
+}
+
+FlightRecorder::Ring& FlightRecorder::ring_for(std::int64_t session) {
+  auto it = rings_.find(session);
+  if (it != rings_.end()) return it->second;
+  if (rings_.size() >= options_.max_sessions) {
+    // Evict the longest-tracked ring; live sessions re-create theirs
+    // on the next note, so the cap bounds memory, not correctness.
+    auto oldest = rings_.begin();
+    for (auto r = rings_.begin(); r != rings_.end(); ++r) {
+      if (r->second.created < oldest->second.created) oldest = r;
+    }
+    rings_.erase(oldest);
+  }
+  Ring& ring = rings_[session];
+  ring.created = created_seq_++;
+  return ring;
+}
+
+void FlightRecorder::note(std::int64_t session, const char* name, std::int64_t tick, int phase,
+                          int step, std::int64_t value) {
+  if (!options_.enabled) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  Ring& ring = ring_for(session);
+  Slot slot;
+  slot.name = name;
+  slot.tick = tick;
+  slot.phase = phase;
+  slot.step = step;
+  slot.value = value;
+  if (ring.slots.size() < options_.ring_capacity) {
+    ring.slots.push_back(slot);
+  } else {
+    ring.slots[static_cast<std::size_t>(ring.total) % options_.ring_capacity] = slot;
+  }
+  ++ring.total;
+}
+
+std::int64_t FlightRecorder::recorded(std::int64_t session) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = rings_.find(session);
+  return it == rings_.end() ? 0 : it->second.total;
+}
+
+std::int64_t FlightRecorder::dropped(std::int64_t session) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = rings_.find(session);
+  if (it == rings_.end()) return 0;
+  return it->second.total - static_cast<std::int64_t>(it->second.slots.size());
+}
+
+std::vector<FlightEvent> FlightRecorder::events(std::int64_t session) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<FlightEvent> out;
+  const auto it = rings_.find(session);
+  if (it == rings_.end()) return out;
+  const Ring& ring = it->second;
+  const std::int64_t kept = static_cast<std::int64_t>(ring.slots.size());
+  out.reserve(static_cast<std::size_t>(kept));
+  for (std::int64_t i = 0; i < kept; ++i) {
+    const std::int64_t seq = ring.total - kept + i;
+    const Slot& slot = ring.slots[static_cast<std::size_t>(seq) % options_.ring_capacity];
+    FlightEvent event;
+    event.seq = seq;
+    event.tick = slot.tick;
+    event.phase = slot.phase;
+    event.step = slot.step;
+    event.value = slot.value;
+    event.name = slot.name;
+    out.push_back(std::move(event));
+  }
+  return out;
+}
+
+std::string FlightRecorder::dump(std::int64_t session, const std::string& reason,
+                                 const std::string& health_table,
+                                 const std::string& repro) const {
+  const std::vector<FlightEvent> tail = events(session);
+  const std::int64_t total = recorded(session);
+  std::string out;
+  out += "flight-recorder v" + std::to_string(kDumpVersion) + "\n";
+  out += "session " + std::to_string(session) + "\n";
+  out += "reason " + one_line(reason) + "\n";
+  out += "events " + std::to_string(tail.size()) + " recorded " + std::to_string(total) +
+         " dropped " + std::to_string(total - static_cast<std::int64_t>(tail.size())) + "\n";
+  for (const FlightEvent& e : tail) {
+    out += "event seq=" + std::to_string(e.seq) + " tick=" + std::to_string(e.tick) +
+           " phase=" + std::to_string(e.phase) + " step=" + std::to_string(e.step) +
+           " value=" + std::to_string(e.value) + " name=" + e.name + "\n";
+  }
+  std::vector<std::string> health_lines;
+  std::size_t pos = 0;
+  while (pos < health_table.size()) {
+    std::size_t eol = health_table.find('\n', pos);
+    if (eol == std::string::npos) eol = health_table.size();
+    health_lines.push_back(health_table.substr(pos, eol - pos));
+    pos = eol + 1;
+  }
+  while (!health_lines.empty() && health_lines.back().empty()) health_lines.pop_back();
+  out += "health " + std::to_string(health_lines.size()) + "\n";
+  for (const std::string& line : health_lines) out += line + "\n";
+  out += "repro " + one_line(repro) + "\n";
+  out += "end flight-recorder\n";
+  return out;
+}
+
+void FlightRecorder::forget(std::int64_t session) {
+  std::lock_guard<std::mutex> lk(mu_);
+  rings_.erase(session);
+}
+
+std::size_t FlightRecorder::tracked_sessions() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return rings_.size();
+}
+
+namespace {
+
+struct LineReader {
+  const std::string& text;
+  std::size_t pos = 0;
+  std::size_t line_no = 0;
+
+  bool next(std::string& out) {
+    if (pos >= text.size()) return false;
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    out = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++line_no;
+    return true;
+  }
+};
+
+bool dump_fail(std::string* error, std::size_t line_no, const std::string& why) {
+  if (error != nullptr) *error = "line " + std::to_string(line_no) + ": " + why;
+  return false;
+}
+
+/// Consumes "<key> <int64>" out of `line` starting at `at`; advances
+/// `at` past the parsed number.
+bool take_kv_int(const std::string& line, std::size_t& at, const std::string& key,
+                 std::int64_t& out) {
+  const std::string want = key + " ";
+  if (line.compare(at, want.size(), want) != 0) return false;
+  at += want.size();
+  char* end = nullptr;
+  out = std::strtoll(line.c_str() + at, &end, 10);
+  if (end == line.c_str() + at) return false;
+  at = static_cast<std::size_t>(end - line.c_str());
+  if (at < line.size() && line[at] == ' ') ++at;
+  return true;
+}
+
+/// Parses "key=<int64>" fields of an event line.
+bool take_field_int(const std::string& line, std::size_t& at, const std::string& key,
+                    std::int64_t& out) {
+  const std::string want = key + "=";
+  if (line.compare(at, want.size(), want) != 0) return false;
+  at += want.size();
+  char* end = nullptr;
+  out = std::strtoll(line.c_str() + at, &end, 10);
+  if (end == line.c_str() + at) return false;
+  at = static_cast<std::size_t>(end - line.c_str());
+  if (at < line.size() && line[at] == ' ') ++at;
+  return true;
+}
+
+}  // namespace
+
+bool parse_flight_dump(const std::string& text, FlightDump* out, std::string* error) {
+  FlightDump dump;
+  LineReader reader{text};
+  std::string line;
+
+  if (!reader.next(line) || line.compare(0, 17, "flight-recorder v") != 0) {
+    return dump_fail(error, reader.line_no, "missing 'flight-recorder v<N>' header");
+  }
+  dump.version = std::atoi(line.c_str() + 17);
+  if (dump.version != kDumpVersion) {
+    return dump_fail(error, reader.line_no, "unsupported dump version " + line.substr(17));
+  }
+
+  if (!reader.next(line)) return dump_fail(error, reader.line_no, "truncated before session");
+  {
+    std::size_t at = 0;
+    if (!take_kv_int(line, at, "session", dump.session) || at != line.size()) {
+      return dump_fail(error, reader.line_no, "expected 'session <id>'");
+    }
+  }
+
+  if (!reader.next(line) || line.compare(0, 7, "reason ") != 0) {
+    return dump_fail(error, reader.line_no, "expected 'reason <text>'");
+  }
+  dump.reason = line.substr(7);
+
+  if (!reader.next(line)) return dump_fail(error, reader.line_no, "truncated before events");
+  std::int64_t event_count = 0;
+  {
+    std::size_t at = 0;
+    if (!take_kv_int(line, at, "events", event_count) ||
+        !take_kv_int(line, at, "recorded", dump.recorded) ||
+        !take_kv_int(line, at, "dropped", dump.dropped)) {
+      return dump_fail(error, reader.line_no, "expected 'events N recorded N dropped N'");
+    }
+  }
+  if (event_count < 0 || dump.dropped != dump.recorded - event_count) {
+    return dump_fail(error, reader.line_no, "event accounting does not balance");
+  }
+
+  for (std::int64_t i = 0; i < event_count; ++i) {
+    if (!reader.next(line) || line.compare(0, 6, "event ") != 0) {
+      return dump_fail(error, reader.line_no, "expected event line");
+    }
+    FlightEvent event;
+    std::size_t at = 6;
+    std::int64_t phase = 0, step = 0;
+    if (!take_field_int(line, at, "seq", event.seq) ||
+        !take_field_int(line, at, "tick", event.tick) ||
+        !take_field_int(line, at, "phase", phase) || !take_field_int(line, at, "step", step) ||
+        !take_field_int(line, at, "value", event.value)) {
+      return dump_fail(error, reader.line_no, "malformed event fields");
+    }
+    event.phase = static_cast<int>(phase);
+    event.step = static_cast<int>(step);
+    if (line.compare(at, 5, "name=") != 0) {
+      return dump_fail(error, reader.line_no, "event missing name");
+    }
+    event.name = line.substr(at + 5);
+    if (event.name.empty()) return dump_fail(error, reader.line_no, "empty event name");
+    if (!dump.events.empty() && event.seq != dump.events.back().seq + 1) {
+      return dump_fail(error, reader.line_no, "event seq not contiguous");
+    }
+    dump.events.push_back(std::move(event));
+  }
+
+  if (!reader.next(line)) return dump_fail(error, reader.line_no, "truncated before health");
+  std::int64_t health_count = 0;
+  {
+    std::size_t at = 0;
+    if (!take_kv_int(line, at, "health", health_count) || at != line.size() || health_count < 0) {
+      return dump_fail(error, reader.line_no, "expected 'health <line-count>'");
+    }
+  }
+  for (std::int64_t i = 0; i < health_count; ++i) {
+    if (!reader.next(line)) return dump_fail(error, reader.line_no, "truncated health table");
+    dump.health.push_back(line);
+  }
+
+  if (!reader.next(line) || line.compare(0, 6, "repro ") != 0) {
+    return dump_fail(error, reader.line_no, "expected 'repro <command>'");
+  }
+  dump.repro = line.substr(6);
+
+  if (!reader.next(line) || line != "end flight-recorder") {
+    return dump_fail(error, reader.line_no, "missing 'end flight-recorder' trailer");
+  }
+
+  if (out != nullptr) *out = std::move(dump);
+  return true;
+}
+
+}  // namespace torex

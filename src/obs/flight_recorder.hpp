@@ -1,0 +1,119 @@
+// Flight recorder: the service's "black box". A bounded ring of the
+// most recent events per session, always on (the rings are a few
+// hundred bytes each), consulted only when something goes wrong —
+// session failure, deadline miss, breaker trip, or a chaos-harness
+// FAIL — at which point the owning SessionManager renders a dump that
+// correlates the session's last scheduler/wire/health events with the
+// breaker table and a one-command repro line.
+//
+// Unlike the Recorder (per-thread lock-free streams sized for full
+// traces), the flight recorder optimizes for bounded memory and a
+// useful tail: each note overwrites the oldest slot once the ring is
+// full, and the drop count says how much history was shed. Event
+// names must be string literals (stored as pointers, the same
+// contract as Recorder); ticks are the manager's fault ticks, so dump
+// lines line up with the health registry's windows.
+//
+// The dump is line-oriented text, machine-parseable by
+// parse_flight_dump — torex_verify uses that to assert every injected
+// failure produced a dump whose final events match the failing
+// phase/step. See docs/observability.md for the dump anatomy.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace torex {
+
+struct FlightRecorderOptions {
+  bool enabled = true;          ///< rings record; disabled = every note is a no-op
+  std::size_t ring_capacity = 128;  ///< events retained per session
+  std::size_t max_sessions = 4096;  ///< rings tracked at once; oldest ring evicted
+
+  void validate() const;
+};
+
+/// One recorded (or parsed-back) flight event.
+struct FlightEvent {
+  std::int64_t seq = 0;   ///< 0-based index of the note within its session
+  std::int64_t tick = 0;  ///< manager fault tick at note time
+  int phase = 0;
+  int step = 0;
+  std::int64_t value = 0;
+  std::string name;
+};
+
+/// Parsed form of one dump, produced by parse_flight_dump.
+struct FlightDump {
+  int version = 0;
+  std::int64_t session = -1;
+  std::string reason;
+  std::int64_t recorded = 0;  ///< notes ever made for the session
+  std::int64_t dropped = 0;   ///< notes overwritten before the dump
+  std::vector<FlightEvent> events;   ///< surviving tail, oldest first
+  std::vector<std::string> health;   ///< breaker table lines, verbatim
+  std::string repro;
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(FlightRecorderOptions options = {});
+
+  bool enabled() const { return options_.enabled; }
+  const FlightRecorderOptions& options() const { return options_; }
+
+  /// Appends one event to the session's ring (overwriting the oldest
+  /// once full). `name` must be a string literal or otherwise outlive
+  /// the recorder.
+  void note(std::int64_t session, const char* name, std::int64_t tick, int phase = 0,
+            int step = 0, std::int64_t value = 0);
+
+  /// Notes ever made / overwritten for the session (0 for unknown ids).
+  std::int64_t recorded(std::int64_t session) const;
+  std::int64_t dropped(std::int64_t session) const;
+
+  /// The surviving tail, oldest first.
+  std::vector<FlightEvent> events(std::int64_t session) const;
+
+  /// Renders the session's black box: reason, event tail, the health
+  /// breaker table (verbatim, may be empty), and the repro line.
+  /// Parseable by parse_flight_dump.
+  std::string dump(std::int64_t session, const std::string& reason,
+                   const std::string& health_table, const std::string& repro) const;
+
+  /// Releases the session's ring (retired sessions stop costing memory).
+  void forget(std::int64_t session);
+
+  /// Rings currently tracked.
+  std::size_t tracked_sessions() const;
+
+ private:
+  struct Slot {
+    const char* name = "";
+    std::int64_t tick = 0;
+    int phase = 0;
+    int step = 0;
+    std::int64_t value = 0;
+  };
+  struct Ring {
+    std::vector<Slot> slots;
+    std::int64_t total = 0;    ///< notes ever made
+    std::int64_t created = 0;  ///< insertion order, for eviction
+  };
+
+  Ring& ring_for(std::int64_t session);  // mu_ held
+
+  mutable std::mutex mu_;
+  FlightRecorderOptions options_;
+  std::map<std::int64_t, Ring> rings_;
+  std::int64_t created_seq_ = 0;
+};
+
+/// Parses a FlightRecorder::dump back into structured form. Returns
+/// false and sets `error` (when non-null) on malformed input.
+bool parse_flight_dump(const std::string& text, FlightDump* out, std::string* error = nullptr);
+
+}  // namespace torex

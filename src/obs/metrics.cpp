@@ -7,6 +7,16 @@
 
 namespace torex {
 
+MetricLabels canonical_labels(MetricLabels labels) {
+  std::sort(labels.begin(), labels.end());
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    TOREX_REQUIRE(!labels[i].first.empty(), "metric label keys must be non-empty");
+    TOREX_REQUIRE(i == 0 || labels[i - 1].first != labels[i].first,
+                  "metric label keys must be unique");
+  }
+  return labels;
+}
+
 Histogram::Histogram(std::vector<std::int64_t> upper_bounds) : bounds_(std::move(upper_bounds)) {
   TOREX_REQUIRE(!bounds_.empty(), "histogram needs at least one bucket bound");
   for (std::size_t i = 1; i < bounds_.size(); ++i) {
@@ -50,48 +60,127 @@ std::vector<std::int64_t> Histogram::bucket_counts() const {
 std::int64_t Histogram::min() const { return min_.load(std::memory_order_relaxed); }
 std::int64_t Histogram::max() const { return max_.load(std::memory_order_relaxed); }
 
+namespace {
+
+/// Shared estimator behind Histogram::percentile and
+/// HistogramSnapshot::percentile: walk the cumulative buckets to the
+/// one covering rank q*count, then interpolate linearly between its
+/// edges (the first bucket starts at the observed min, the overflow
+/// bucket ends at the observed max).
+double percentile_from_buckets(const std::vector<std::int64_t>& bounds,
+                               const std::vector<std::int64_t>& counts, std::int64_t count,
+                               std::int64_t min, std::int64_t max, double q) {
+  if (count <= 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double target = q * static_cast<double>(count);
+  if (target <= 0.0) return static_cast<double>(min);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double c = static_cast<double>(counts[i]);
+    if (c <= 0.0) continue;
+    if (cum + c >= target) {
+      double lo = i == 0 ? static_cast<double>(min) : static_cast<double>(bounds[i - 1]);
+      double hi = i < bounds.size() ? static_cast<double>(bounds[i]) : static_cast<double>(max);
+      lo = std::min(lo, hi);
+      const double frac = (target - cum) / c;
+      return lo + (hi - lo) * frac;
+    }
+    cum += c;
+  }
+  return static_cast<double>(max);
+}
+
+}  // namespace
+
+double Histogram::percentile(double q) const {
+  return percentile_from_buckets(bounds_, bucket_counts(), count(), min(), max(), q);
+}
+
+double HistogramSnapshot::percentile(double q) const {
+  return percentile_from_buckets(bounds, counts, count, min, max, q);
+}
+
 std::int64_t MetricsSnapshot::counter_value(const std::string& name) const {
   for (const auto& c : counters) {
-    if (c.name == name) return c.value;
+    if (c.name == name && c.labels.empty()) return c.value;
   }
   return 0;
 }
 
 std::int64_t MetricsSnapshot::gauge_value(const std::string& name) const {
   for (const auto& g : gauges) {
-    if (g.name == name) return g.value;
+    if (g.name == name && g.labels.empty()) return g.value;
   }
   return 0;
 }
 
-Counter& MetricsRegistry::counter(const std::string& name) {
-  std::lock_guard<std::mutex> lk(mu_);
-  if (gauges_.count(name) != 0 || histograms_.count(name) != 0) {
+std::int64_t MetricsSnapshot::counter_value(const std::string& name, MetricLabels labels) const {
+  const MetricLabels want = canonical_labels(std::move(labels));
+  for (const auto& c : counters) {
+    if (c.name == name && c.labels == want) return c.value;
+  }
+  return 0;
+}
+
+std::int64_t MetricsSnapshot::gauge_value(const std::string& name, MetricLabels labels) const {
+  const MetricLabels want = canonical_labels(std::move(labels));
+  for (const auto& g : gauges) {
+    if (g.name == name && g.labels == want) return g.value;
+  }
+  return 0;
+}
+
+const HistogramSnapshot* MetricsSnapshot::histogram(const std::string& name,
+                                                    MetricLabels labels) const {
+  const MetricLabels want = canonical_labels(std::move(labels));
+  for (const auto& h : histograms) {
+    if (h.name == name && h.labels == want) return &h;
+  }
+  return nullptr;
+}
+
+void MetricsRegistry::check_kind(const std::string& name, char kind) const {
+  const auto it = kinds_.find(name);
+  if (it != kinds_.end() && it->second != kind) {
     throw std::logic_error("metric '" + name + "' already registered with another kind");
   }
-  auto& slot = counters_[name];
-  if (!slot) slot = std::make_unique<Counter>();
+}
+
+Counter& MetricsRegistry::counter(const std::string& name, MetricLabels labels) {
+  Key key{name, canonical_labels(std::move(labels))};
+  std::lock_guard<std::mutex> lk(mu_);
+  check_kind(name, 'c');
+  auto& slot = counters_[std::move(key)];
+  if (!slot) {
+    kinds_[name] = 'c';
+    slot = std::make_unique<Counter>();
+  }
   return *slot;
 }
 
-Gauge& MetricsRegistry::gauge(const std::string& name) {
+Gauge& MetricsRegistry::gauge(const std::string& name, MetricLabels labels) {
+  Key key{name, canonical_labels(std::move(labels))};
   std::lock_guard<std::mutex> lk(mu_);
-  if (counters_.count(name) != 0 || histograms_.count(name) != 0) {
-    throw std::logic_error("metric '" + name + "' already registered with another kind");
+  check_kind(name, 'g');
+  auto& slot = gauges_[std::move(key)];
+  if (!slot) {
+    kinds_[name] = 'g';
+    slot = std::make_unique<Gauge>();
   }
-  auto& slot = gauges_[name];
-  if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
 }
 
 Histogram& MetricsRegistry::histogram(const std::string& name,
-                                      std::vector<std::int64_t> upper_bounds) {
+                                      std::vector<std::int64_t> upper_bounds,
+                                      MetricLabels labels) {
+  Key key{name, canonical_labels(std::move(labels))};
   std::lock_guard<std::mutex> lk(mu_);
-  if (counters_.count(name) != 0 || gauges_.count(name) != 0) {
-    throw std::logic_error("metric '" + name + "' already registered with another kind");
+  check_kind(name, 'h');
+  auto& slot = histograms_[std::move(key)];
+  if (!slot) {
+    kinds_[name] = 'h';
+    slot = std::make_unique<Histogram>(std::move(upper_bounds));
   }
-  auto& slot = histograms_[name];
-  if (!slot) slot = std::make_unique<Histogram>(std::move(upper_bounds));
   return *slot;
 }
 
@@ -99,17 +188,18 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   std::lock_guard<std::mutex> lk(mu_);
   MetricsSnapshot out;
   out.counters.reserve(counters_.size());
-  for (const auto& [name, metric] : counters_) {
-    out.counters.push_back({name, metric->value()});
+  for (const auto& [key, metric] : counters_) {
+    out.counters.push_back({key.first, key.second, metric->value()});
   }
   out.gauges.reserve(gauges_.size());
-  for (const auto& [name, metric] : gauges_) {
-    out.gauges.push_back({name, metric->value()});
+  for (const auto& [key, metric] : gauges_) {
+    out.gauges.push_back({key.first, key.second, metric->value()});
   }
   out.histograms.reserve(histograms_.size());
-  for (const auto& [name, metric] : histograms_) {
+  for (const auto& [key, metric] : histograms_) {
     HistogramSnapshot h;
-    h.name = name;
+    h.name = key.first;
+    h.labels = key.second;
     h.bounds = metric->bounds();
     h.counts = metric->bucket_counts();
     h.count = metric->count();
@@ -118,7 +208,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
     h.max = metric->max();
     out.histograms.push_back(std::move(h));
   }
-  return out;  // std::map iteration is already name-sorted
+  return out;  // std::map iteration is already (name, labels)-sorted
 }
 
 std::vector<std::int64_t> default_latency_bounds_ns() {
@@ -126,6 +216,17 @@ std::vector<std::int64_t> default_latency_bounds_ns() {
   std::vector<std::int64_t> bounds;
   for (std::int64_t b = 1000; b <= 1'048'576'000; b *= 2) bounds.push_back(b);
   return bounds;
+}
+
+double percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  std::sort(values.begin(), values.end());
+  const double rank = q * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
 }
 
 }  // namespace torex

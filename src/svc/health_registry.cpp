@@ -358,6 +358,11 @@ void HealthRegistry::note_planned_around() {
   if (obs_ != nullptr) obs_->metrics().counter("svc.health.planned_around").add();
 }
 
+std::int64_t HealthRegistry::opens() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return totals_.opens;
+}
+
 HealthStats HealthRegistry::stats(std::int64_t tick) const {
   std::lock_guard<std::mutex> lk(mu_);
   HealthStats out = totals_;

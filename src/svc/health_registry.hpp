@@ -246,6 +246,11 @@ class HealthRegistry {
   /// Snapshot (aggregates + per-resource detail) at `tick`.
   HealthStats stats(std::int64_t tick) const;
 
+  /// Total closed -> open transitions so far. Cheap (no resource walk):
+  /// the manager polls it after every dispatch to edge-detect breaker
+  /// trips for the flight recorder.
+  std::int64_t opens() const;
+
   /// Human-readable breaker table for post-mortem artifacts.
   std::string dump(std::int64_t tick) const;
 

@@ -129,7 +129,12 @@ struct SessionRecord {
   double finished_at = 0.0;   ///< virtual time of the terminal transition
   int phases_done = 0;
   std::int64_t sent_parcels = 0;  ///< parcels this session pushed onto the wire
+  std::int64_t deferrals = 0;     ///< dispatches deferred by the retry budget, total
+  std::int64_t retry_parcels = 0; ///< retry-budget tokens this session spent
   std::string error;          ///< terminal diagnostic for failed/missed/cancelled
+  /// Flight-recorder black box, rendered at the terminal transition for
+  /// failed and deadline-missed sessions (parseable: parse_flight_dump).
+  std::string flight_dump;
 
   bool terminal() const {
     return state != SessionState::kQueued && state != SessionState::kRunning;

@@ -25,8 +25,9 @@ struct PendingFrame {
 
 SessionExchange::SessionExchange(SessionId id, const SuhShinAape& algo,
                                  const std::vector<std::vector<Word>>& send, WireArena& arena,
-                                 std::int64_t max_leased_frames)
-    : id_(id), algo_(&algo), arena_(&arena), frame_quota_(max_leased_frames) {
+                                 std::int64_t max_leased_frames, FlightRecorder* flight)
+    : id_(id), algo_(&algo), arena_(&arena), flight_(flight),
+      frame_quota_(max_leased_frames) {
   const Rank N = algo.shape().num_nodes();
   TOREX_REQUIRE(static_cast<Rank>(send.size()) == N, "session send buffer must have N rows");
   buffers_.resize(static_cast<std::size_t>(N));
@@ -41,6 +42,11 @@ SessionExchange::SessionExchange(SessionId id, const SuhShinAape& algo,
     }
   }
   journal_ = ExchangeJournal(algo.shape(), algo.num_phases(), algo.total_steps());
+}
+
+void SessionExchange::flight_note(const char* name, const HealthContext& health, int phase,
+                                  int step, std::int64_t value) {
+  if (flight_ != nullptr) flight_->note(id_, name, health.tick, phase, step, value);
 }
 
 bool SessionExchange::health_gate(int phase, int step, const HealthContext& health) {
@@ -71,6 +77,7 @@ bool SessionExchange::health_gate(int phase, int step, const HealthContext& heal
     // assigns — the exchange proceeds, the registry accounts it.
     if (avoid.node_relevant_failed(p, tick) || avoid.node_relevant_failed(q, tick)) {
       registry.note_remap_hosted();
+      flight_note("health.remap_hosted", health, phase, step, q);
       continue;
     }
 
@@ -82,6 +89,7 @@ bool SessionExchange::health_gate(int phase, int step, const HealthContext& heal
         // Someone already paid the discovery: reroute immediately, no
         // retries, no chain walk — first-discoverer-heals-all.
         registry.note_quarantine_hit();
+        flight_note("health.quarantine_hit", health, phase, step, id);
         needs_detour = true;
         continue;
       }
@@ -95,9 +103,12 @@ bool SessionExchange::health_gate(int phase, int step, const HealthContext& heal
       while (!registry.channel_quarantined(id, tick)) {
         if (health.budget != nullptr && !health.budget->try_acquire(parcels)) {
           registry.note_deferral();
+          flight_note("health.deferred", health, phase, step, parcels);
           return false;
         }
         registry.note_resent(parcels);
+        resent_parcels_ += parcels;
+        flight_note("health.resent", health, phase, step, parcels);
         const auto fault = health.faults->find_channel_fault(torus, id, tick);
         const std::string why =
             fault.has_value() ? fault->describe(torus) : "unattributed send failure";
@@ -106,6 +117,7 @@ bool SessionExchange::health_gate(int phase, int step, const HealthContext& heal
           // discoverer and walk the degradation chain (retry ->
           // reroute/remap) exactly once, publishing the verdict.
           registry.note_chain_walk(id);
+          flight_note("health.breaker_trip", health, phase, step, id);
         }
       }
       needs_detour = true;
@@ -116,11 +128,14 @@ bool SessionExchange::health_gate(int phase, int step, const HealthContext& heal
     // service fault or add_quarantine above), so BFS plans past them.
     auto path = route_around_faults(torus, avoid, p, q, tick);
     if (!path.has_value()) {
+      flight_note("health.unroutable", health, phase, step, q);
       throw SessionFaultError(id_, phase, step,
                               "no detour from node " + std::to_string(p) + " to node " +
                                   std::to_string(q) + " around quarantined resources");
     }
     registry.note_reroute(static_cast<std::int64_t>(path->size()) - hops);
+    flight_note("health.reroute", health, phase, step,
+                static_cast<std::int64_t>(path->size()) - hops);
   }
   return true;
 }
@@ -137,6 +152,7 @@ PhaseOutcome SessionExchange::run_phase(const std::atomic<bool>* cancel,
   std::vector<std::pair<Rank, Rank>> arrivals;
   for (int step = next_step_; step <= algo_->steps_in_phase(phase); ++step) {
     if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      flight_note("svc.cancelled", health, phase, step);
       detail::throw_journal_cancelled(phase, step);
     }
     if (health.active() && !health_gate(phase, step, health)) {
@@ -147,6 +163,7 @@ PhaseOutcome SessionExchange::run_phase(const std::atomic<bool>* cancel,
     // Send half: partition each node's buffer, seal the contiguous
     // tail into a leased frame, and count the lease against the
     // tenant's quota before the arena is touched.
+    const std::int64_t sent_before = sent_parcels_;
     pending.clear();
     arrivals.clear();
     for (Rank p = 0; p < N; ++p) {
@@ -157,6 +174,8 @@ PhaseOutcome SessionExchange::run_phase(const std::atomic<bool>* cancel,
       if (split == buf.end()) continue;
       const auto moved = static_cast<std::int64_t>(std::distance(split, buf.end()));
       if (frame_quota_ > 0 && static_cast<std::int64_t>(pending.size()) >= frame_quota_) {
+        flight_note("svc.quota_breach", health, phase, step,
+                    static_cast<std::int64_t>(pending.size()) + 1);
         throw SessionQuotaError(id_, static_cast<std::int64_t>(pending.size()), frame_quota_);
       }
       const Rank q = algo_->partner(p, phase, step);
@@ -191,6 +210,7 @@ PhaseOutcome SessionExchange::run_phase(const std::atomic<bool>* cancel,
       std::string why;
       if (!decode_sealed_frame<Word>(in.frame.view(), phase, step, in.src, in.dst, N, view,
                                      &why)) {
+        flight_note("svc.integrity_refused", health, phase, step, in.src);
         throw SessionIntegrityError(id_, phase, step, why);
       }
       view.append_to(inbox_[static_cast<std::size_t>(in.dst)]);
@@ -215,15 +235,18 @@ PhaseOutcome SessionExchange::run_phase(const std::atomic<bool>* cancel,
     // cancel window both sit between them.
     if (!arrivals.empty()) journal_.record_deliveries(flat_step_, arrivals);
     if (inject.crash_phase == phase && step == 1) {
+      flight_note("svc.crash", health, phase, step);
       throw ExchangeCrashError(phase, step,
                                "injected session crash after journal flush (phase " +
                                    std::to_string(phase) + ", step " + std::to_string(step) +
                                    ")");
     }
     if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      flight_note("svc.cancelled", health, phase, step);
       detail::throw_journal_cancelled(phase, step);
     }
     journal_.commit_step(flat_step_);
+    flight_note("wire.step", health, phase, step, sent_parcels_ - sent_before);
     ++flat_step_;
   }
   next_step_ = 1;

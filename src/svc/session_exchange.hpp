@@ -31,6 +31,7 @@
 #include "core/aape.hpp"
 #include "core/payload_exchange.hpp"
 #include "core/wire_buffer.hpp"
+#include "obs/flight_recorder.hpp"
 #include "runtime/journal.hpp"
 #include "sim/fault_model.hpp"
 #include "svc/health_registry.hpp"
@@ -68,15 +69,20 @@ class SessionExchange {
   /// Seeds the canonical parcel buffers from `send` (must be N x N for
   /// the schedule's node count) and binds a fresh per-session journal.
   /// `algo` and `arena` must outlive the exchange; `max_leased_frames`
-  /// is the tenant's arena-frame quota (0 = unlimited).
+  /// is the tenant's arena-frame quota (0 = unlimited). `flight`, when
+  /// non-null, receives per-step black-box notes (including one at the
+  /// exact phase/step of any throw) under this session's id.
   SessionExchange(SessionId id, const SuhShinAape& algo,
                   const std::vector<std::vector<std::int64_t>>& send, WireArena& arena,
-                  std::int64_t max_leased_frames);
+                  std::int64_t max_leased_frames, FlightRecorder* flight = nullptr);
 
   int num_phases() const { return algo_->num_phases(); }
   int phases_done() const { return phases_done_; }
   bool complete() const { return phases_done_ == num_phases(); }
   std::int64_t sent_parcels() const { return sent_parcels_; }
+  /// Retry-budget tokens this session's discoveries drew (per-tenant
+  /// spend attribution for the SLO ledger).
+  std::int64_t resent_parcels() const { return resent_parcels_; }
   /// Most arena frames this session held leased at once.
   std::int64_t peak_leased_frames() const { return peak_leased_; }
   const ExchangeJournal& journal() const { return journal_; }
@@ -108,9 +114,14 @@ class SessionExchange {
   /// (budget denied); throws SessionFaultError when no detour exists.
   bool health_gate(int phase, int step, const HealthContext& health);
 
+  /// Black-box note at (phase, step); no-op without a recorder.
+  void flight_note(const char* name, const HealthContext& health, int phase, int step,
+                   std::int64_t value = 0);
+
   SessionId id_;
   const SuhShinAape* algo_;
   WireArena* arena_;
+  FlightRecorder* flight_ = nullptr;
   std::int64_t frame_quota_;
   ParcelBuffers<std::int64_t> buffers_;
   ParcelBuffers<std::int64_t> inbox_;
@@ -119,6 +130,7 @@ class SessionExchange {
   int phases_done_ = 0;
   int next_step_ = 1;  ///< deferred-phase resume point (1-based in-phase)
   std::int64_t sent_parcels_ = 0;
+  std::int64_t resent_parcels_ = 0;
   std::int64_t peak_leased_ = 0;
 };
 

@@ -17,6 +17,22 @@ namespace {
 /// relative to the fault load (a starvation diagnosis, not a hang).
 constexpr int kMaxDeferralsPerSession = 256;
 
+/// SLO histogram bucket edges, in milli-phase-cost units (1000 = one
+/// phase cost of virtual time). Octaves from a quarter phase to ~512
+/// phases cover queue waits and end-to-end latencies of any plausible
+/// schedule depth; beyond that the overflow bucket plus min/max carry
+/// the tail.
+std::vector<std::int64_t> slo_bounds_milliphase() {
+  std::vector<std::int64_t> bounds;
+  for (std::int64_t b = 250; b <= 512'000; b *= 2) bounds.push_back(b);
+  return bounds;
+}
+
+/// Short resource label for breaker gauges: "channel:12" / "node:3".
+std::string resource_label(const ResourceHealth& r) {
+  return (r.kind == FaultKind::kChannel ? "channel:" : "node:") + std::to_string(r.id);
+}
+
 }  // namespace
 
 void HealthOptions::validate() const {
@@ -33,13 +49,15 @@ void SessionManagerOptions::validate() const {
     quota.validate(tenant);  // typed TenantQuotaError on malformed entries
   }
   health.validate();
+  flight.validate();
 }
 
 SessionManager::SessionManager(TorusShape shape, CostParams params, SessionManagerOptions options)
     : shape_(shape),
       schedule_(shape),
       comm_(shape, params),
-      options_(std::move(options)) {
+      options_(std::move(options)),
+      flight_(options_.flight) {
   options_.validate();
   obs_ = options_.obs != nullptr && options_.obs->enabled() ? options_.obs : nullptr;
   phase_cost_ = comm_.phase_cost(options_.block_bytes);
@@ -91,8 +109,52 @@ SessionId SessionManager::submit(SessionRequest request) {
   slots_.push_back(std::move(s));
   pending_arrivals_.push_back(id);
   ++stats_.offered;
-  if (obs_ != nullptr) obs_->metrics().counter("svc.offered").add();
+  const Slot& added = *slots_.back();
+  slo_counter("svc.slo.offered", added.record.tenant).add();
+  flight_.note(id, "svc.submit", fault_tick_, 0, 0, added.record.weight);
+  if (obs_ != nullptr) {
+    obs_->metrics().counter("svc.offered").add();
+    obs_tenant_counter("svc.offered", added.record.tenant);
+  }
   return id;
+}
+
+Counter& SessionManager::slo_counter(const char* name, const std::string& tenant) {
+  return slo_.counter(name, {{"tenant", tenant}});
+}
+
+std::int64_t SessionManager::to_milliphase(double vt) const {
+  return std::llround(1000.0 * vt / phase_cost_);
+}
+
+void SessionManager::obs_tenant_counter(const char* name, const std::string& tenant) {
+  if (obs_ == nullptr) return;
+  obs_->metrics().counter(name, {{"tenant", tenant}}).add();
+}
+
+void SessionManager::emit_flight_dump(Slot& s, const char* trigger, const std::string& reason,
+                                      bool terminal) {
+  if (!flight_.enabled()) return;
+  const std::string health_table = health_ != nullptr ? health_->dump(fault_tick_) : "";
+  std::string text = flight_.dump(s.record.id, reason, health_table, options_.repro_hint);
+  if (terminal) {
+    s.record.flight_dump = text;
+    flight_.forget(s.record.id);
+  }
+  flight_dumps_.push_back({s.record.id, trigger, std::move(text)});
+}
+
+void SessionManager::maybe_breaker_trip_dump(Slot& s, int phase) {
+  if (health_ == nullptr) return;
+  const std::int64_t opens = health_->opens();
+  if (opens <= last_opens_) return;
+  // This dispatch tripped one or more breakers: snapshot the session
+  // that discovered them while its ring still holds the discovery.
+  emit_flight_dump(s, "breaker_trip",
+                   "breaker trip during phase " + std::to_string(phase) + " (opens " +
+                       std::to_string(last_opens_) + " -> " + std::to_string(opens) + ")",
+                   /*terminal=*/false);
+  last_opens_ = opens;
 }
 
 SessionManager::Slot& SessionManager::slot(SessionId id) {
@@ -120,7 +182,7 @@ void SessionManager::set_queue_gauges() {
   m.gauge("svc.active_sessions").set(static_cast<std::int64_t>(running_.size()));
   m.gauge("svc.queued_sessions").set(static_cast<std::int64_t>(queue_.size()));
   for (const auto& [tenant, depth] : tenant_queued_) {
-    m.gauge("svc.queue_depth." + tenant).set(depth);
+    m.gauge("svc.queue_depth", {{"tenant", tenant}}).set(depth);
   }
 }
 
@@ -132,24 +194,39 @@ void SessionManager::retire_queued(Slot& s, SessionState state, RejectReason rea
   s.record.error = error;
   s.request.send.clear();
   s.request.send.shrink_to_fit();
+  const std::string& tenant = s.record.tenant;
   switch (state) {
     case SessionState::kRejected:
       ++stats_.rejected;
+      slo_counter("svc.slo.rejected", tenant).add();
+      flight_.note(s.record.id, "svc.reject", fault_tick_);
+      flight_.forget(s.record.id);
       if (obs_ != nullptr) {
         obs_->instant("svc.reject", static_cast<std::int32_t>(s.record.id));
         obs_->metrics().counter("svc.rejected").add();
+        obs_tenant_counter("svc.rejected", tenant);
       }
       break;
     case SessionState::kDeadlineMissed:
       ++stats_.deadline_missed_queued;
+      // A shed miss: the session expired before ever running.
+      slo_.counter("svc.slo.deadline_missed", {{"tenant", tenant}, {"cause", "shed"}}).add();
+      flight_.note(s.record.id, "svc.deadline_miss", fault_tick_);
+      emit_flight_dump(s, "deadline_miss", error, /*terminal=*/true);
       if (obs_ != nullptr) {
         obs_->instant("svc.deadline_miss", static_cast<std::int32_t>(s.record.id));
         obs_->metrics().counter("svc.deadline_missed").add();
+        obs_tenant_counter("svc.deadline_missed", tenant);
       }
       break;
     case SessionState::kCancelled:
       ++stats_.cancelled_queued;
-      if (obs_ != nullptr) obs_->metrics().counter("svc.cancelled").add();
+      slo_counter("svc.slo.cancelled", tenant).add();
+      flight_.forget(s.record.id);
+      if (obs_ != nullptr) {
+        obs_->metrics().counter("svc.cancelled").add();
+        obs_tenant_counter("svc.cancelled", tenant);
+      }
       break;
     default:
       TOREX_UNREACHABLE();
@@ -164,7 +241,19 @@ void SessionManager::retire_running(Slot& s, SessionState state, const std::stri
   s.record.state = state;
   s.record.finished_at = vclock_;
   s.record.error = error;
-  if (s.exchange) s.record.sent_parcels = s.exchange->sent_parcels();
+  const std::string& tenant = s.record.tenant;
+  if (s.exchange) {
+    const std::int64_t sent_now = s.exchange->sent_parcels();
+    if (sent_now > s.record.sent_parcels) {
+      slo_counter("svc.slo.parcels", tenant).add(sent_now - s.record.sent_parcels);
+    }
+    s.record.sent_parcels = sent_now;
+  }
+  // SLO decomposition: every admitted session settles its service-time
+  // observation at retirement (queue wait was observed at promotion);
+  // only completions count toward the end-to-end latency objective.
+  slo_.histogram("svc.slo.service_time", slo_bounds_milliphase(), {{"tenant", tenant}})
+      .observe(to_milliphase(s.record.finished_at - s.record.admitted_at));
   switch (state) {
     case SessionState::kCompleted: {
       s.result = s.exchange->take_result();
@@ -172,26 +261,53 @@ void SessionManager::retire_running(Slot& s, SessionState state, const std::stri
       ++stats_.completed;
       const auto n = static_cast<std::int64_t>(size());
       stats_.parcels_delivered += n * n;
-      if (obs_ != nullptr) obs_->metrics().counter("svc.completed").add();
+      slo_counter("svc.slo.completed", tenant).add();
+      slo_.histogram("svc.slo.latency", slo_bounds_milliphase(), {{"tenant", tenant}})
+          .observe(to_milliphase(s.record.finished_at - s.record.arrival));
+      flight_.forget(s.record.id);
+      if (obs_ != nullptr) {
+        obs_->metrics().counter("svc.completed").add();
+        obs_tenant_counter("svc.completed", tenant);
+      }
       break;
     }
-    case SessionState::kDeadlineMissed:
+    case SessionState::kDeadlineMissed: {
       ++stats_.deadline_missed_running;
+      // Mid-run miss attribution: a session the retry budget stalled
+      // missed because it deferred; one that paid discovery retries
+      // missed because of faults; anything else is plain overload.
+      const char* cause = s.record.deferrals > 0      ? "deferred"
+                          : s.record.retry_parcels > 0 ? "faulted"
+                                                       : "overload";
+      slo_.counter("svc.slo.deadline_missed", {{"tenant", tenant}, {"cause", cause}}).add();
+      flight_.note(s.record.id, "svc.deadline_miss", fault_tick_,
+                   s.exchange != nullptr ? s.exchange->phases_done() + 1 : 0);
+      emit_flight_dump(s, "deadline_miss", error, /*terminal=*/true);
       if (obs_ != nullptr) {
         obs_->instant("svc.deadline_miss", static_cast<std::int32_t>(s.record.id));
         obs_->metrics().counter("svc.deadline_missed").add();
+        obs_tenant_counter("svc.deadline_missed", tenant);
       }
       break;
+    }
     case SessionState::kFailed:
       ++stats_.failed;
+      slo_counter("svc.slo.failed", tenant).add();
+      emit_flight_dump(s, "session_failed", error, /*terminal=*/true);
       if (obs_ != nullptr) {
         obs_->instant("svc.session_failed", static_cast<std::int32_t>(s.record.id));
         obs_->metrics().counter("svc.failed").add();
+        obs_tenant_counter("svc.failed", tenant);
       }
       break;
     case SessionState::kCancelled:
       ++stats_.cancelled;
-      if (obs_ != nullptr) obs_->metrics().counter("svc.cancelled").add();
+      slo_counter("svc.slo.cancelled", tenant).add();
+      flight_.forget(s.record.id);
+      if (obs_ != nullptr) {
+        obs_->metrics().counter("svc.cancelled").add();
+        obs_tenant_counter("svc.cancelled", tenant);
+      }
       break;
     default:
       TOREX_UNREACHABLE();
@@ -275,7 +391,8 @@ void SessionManager::promote() {
       const std::int64_t frame_quota =
           quota_it != options_.quotas.end() ? quota_it->second.max_arena_frames : 0;
       s.exchange = std::make_unique<SessionExchange>(s.record.id, schedule_, s.request.send,
-                                                     arena_, frame_quota);
+                                                     arena_, frame_quota,
+                                                     flight_.enabled() ? &flight_ : nullptr);
       s.request.send.clear();
       s.request.send.shrink_to_fit();
       s.record.state = SessionState::kRunning;
@@ -286,6 +403,12 @@ void SessionManager::promote() {
       running_.push_back(s.record.id);
       ++tenant_running_[s.record.tenant];
       ++stats_.admitted;
+      slo_counter("svc.slo.admitted", s.record.tenant).add();
+      slo_.histogram("svc.slo.queue_wait", slo_bounds_milliphase(),
+                     {{"tenant", s.record.tenant}})
+          .observe(to_milliphase(s.record.admitted_at - s.record.arrival));
+      flight_.note(s.record.id, "svc.admit", fault_tick_, 0, 0,
+                   static_cast<std::int64_t>(queue_.size()));
       if (health_ != nullptr && health_->any_quarantined(fault_tick_)) {
         // Newly admitted with quarantine in force: this session is
         // planned around the bad resources from its first phase (the
@@ -295,6 +418,7 @@ void SessionManager::promote() {
       if (obs_ != nullptr) {
         obs_->instant("svc.admit", static_cast<std::int32_t>(s.record.id));
         obs_->metrics().counter("svc.admitted").add();
+        obs_tenant_counter("svc.admitted", s.record.tenant);
       }
       promoted = true;
       break;
@@ -349,14 +473,30 @@ bool SessionManager::run_one() {
 
   health_maintenance();
   HealthContext health;
+  // The tick rides along even without the health layer: flight-recorder
+  // notes stamp it so dump lines align with the dispatch axis.
+  health.tick = fault_tick_;
   if (health_ != nullptr) {
     health.faults = &options_.service_faults;
     health.registry = health_.get();
     health.budget = retry_budget_.get();
-    health.tick = fault_tick_;
   }
 
   const int phase = s->exchange->phases_done() + 1;
+  flight_.note(s->record.id, "svc.dispatch", fault_tick_, phase, 0,
+               static_cast<std::int64_t>(running_.size()));
+  // Post-dispatch bookkeeping shared by every outcome: per-tenant
+  // retry-budget spend attribution, then breaker-trip edge detection
+  // (the discoverer's ring still holds the discovery events).
+  const auto settle = [&](Slot& sess) {
+    const std::int64_t resent = sess.exchange->resent_parcels();
+    if (resent > sess.record.retry_parcels) {
+      slo_counter("svc.slo.retry_parcels", sess.record.tenant)
+          .add(resent - sess.record.retry_parcels);
+      sess.record.retry_parcels = resent;
+    }
+    maybe_breaker_trip_dump(sess, phase);
+  };
   try {
     SpanGuard phase_span(obs_, "svc.phase", static_cast<std::int32_t>(s->record.id), phase);
     const PhaseOutcome outcome =
@@ -366,11 +506,17 @@ bool SessionManager::run_one() {
     vclock_ += phase_cost_;
     s->vfinish += phase_cost_ / static_cast<double>(s->record.weight);
     ++fault_tick_;
+    settle(*s);
     if (outcome == PhaseOutcome::kDeferred) {
       // Retries beyond the global budget queue rather than fire: the
       // session keeps its slot and the fair scheduler will re-dispatch
       // it once cheaper sessions have run (and the bucket refilled).
       ++s->deferrals;
+      ++s->record.deferrals;
+      slo_counter("svc.slo.deferrals", s->record.tenant).add();
+      // Deferred-budget time: each deferral burns one phase cost of
+      // virtual time on the clock without advancing the session.
+      slo_counter("svc.slo.deferred_milliphase", s->record.tenant).add(1000);
       const bool can_refill = options_.health.retries.capacity == 0 ||
                               options_.health.retries.refill_per_time > 0.0;
       if (!can_refill || s->deferrals >= kMaxDeferralsPerSession) {
@@ -383,8 +529,12 @@ bool SessionManager::run_one() {
     s->deferrals = 0;
     ++stats_.phases_executed;
     if (obs_ != nullptr) obs_->metrics().counter("svc.phases").add();
+    const std::int64_t sent_now = s->exchange->sent_parcels();
+    if (sent_now > s->record.sent_parcels) {
+      slo_counter("svc.slo.parcels", s->record.tenant).add(sent_now - s->record.sent_parcels);
+    }
     s->record.phases_done = s->exchange->phases_done();
-    s->record.sent_parcels = s->exchange->sent_parcels();
+    s->record.sent_parcels = sent_now;
     if (s->exchange->complete()) {
       retire_running(*s, SessionState::kCompleted, "");
     }
@@ -394,6 +544,7 @@ bool SessionManager::run_one() {
     // phase got before the flag was seen.
     vclock_ += phase_cost_;
     ++fault_tick_;
+    settle(*s);
     retire_running(*s, SessionState::kCancelled, error.what());
   } catch (const std::exception& error) {
     // Crash injection, corruption refusal, quota breach, unroutable
@@ -401,6 +552,7 @@ bool SessionManager::run_one() {
     // engine moves on.
     vclock_ += phase_cost_;
     ++fault_tick_;
+    settle(*s);
     retire_running(*s, SessionState::kFailed, error.what());
   }
   return true;
@@ -494,6 +646,106 @@ std::string SessionManager::health_dump() const {
   std::lock_guard<std::mutex> lk(mu_);
   TOREX_REQUIRE(health_ != nullptr, "health dump requested from a manager without the layer");
   return health_->dump(fault_tick_);
+}
+
+std::vector<SessionManager::FlightDumpEntry> SessionManager::flight_dumps() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return flight_dumps_;
+}
+
+MetricsSnapshot SessionManager::slo_snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return slo_.snapshot();
+}
+
+MetricsSnapshot SessionManager::exposition_snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  MetricsSnapshot out = slo_.snapshot();
+  const auto counter = [&out](const char* name, std::int64_t value, MetricLabels labels = {}) {
+    out.counters.push_back({name, canonical_labels(std::move(labels)), value});
+  };
+  const auto gauge = [&out](const char* name, std::int64_t value, MetricLabels labels = {}) {
+    out.gauges.push_back({name, canonical_labels(std::move(labels)), value});
+  };
+
+  // Service disposition totals (the same numbers stats() reports).
+  counter("svc.offered", stats_.offered);
+  counter("svc.admitted", stats_.admitted);
+  counter("svc.rejected", stats_.rejected);
+  counter("svc.completed", stats_.completed);
+  counter("svc.failed", stats_.failed);
+  counter("svc.cancelled", stats_.cancelled + stats_.cancelled_queued);
+  counter("svc.deadline_missed", stats_.deadline_missed());
+  counter("svc.phases", stats_.phases_executed);
+  counter("svc.parcels_delivered", stats_.parcels_delivered);
+
+  // Scheduler occupancy and the virtual clock.
+  gauge("svc.active_sessions", static_cast<std::int64_t>(running_.size()));
+  gauge("svc.queued_sessions", static_cast<std::int64_t>(queue_.size()));
+  gauge("svc.pending_arrivals", static_cast<std::int64_t>(pending_arrivals_.size()));
+  for (const auto& [tenant, depth] : tenant_queued_) {
+    gauge("svc.queue_depth", depth, {{"tenant", tenant}});
+  }
+  gauge("svc.virtual_time_milliphase", to_milliphase(vclock_));
+  gauge("svc.fault_tick", fault_tick_);
+
+  // Flight recorder occupancy.
+  gauge("svc.flight.tracked_sessions", static_cast<std::int64_t>(flight_.tracked_sessions()));
+  counter("svc.flight.dumps", static_cast<std::int64_t>(flight_dumps_.size()));
+
+  // Shared arena / wire path.
+  const WirePoolStats& w = arena_.stats();
+  counter("wire.messages", w.messages);
+  counter("wire.parcels", w.parcels);
+  counter("wire.bytes_encoded", w.bytes_encoded);
+  counter("wire.bytes_copied", w.bytes_copied);
+  counter("wire.acquires", w.acquires);
+  counter("wire.pool_hits", w.pool_hits);
+  counter("wire.pool_misses", w.pool_misses);
+  gauge("wire.outstanding_frames", w.outstanding_frames());
+  gauge("wire.peak_in_use", w.peak_in_use);
+
+  // Health layer: aggregate counters, retry budget, and a per-resource
+  // breaker gauge (0 = closed, 1 = open, 2 = half-open).
+  if (health_ != nullptr) {
+    const HealthStats h = health_->stats(fault_tick_);
+    counter("svc.health.errors", h.errors);
+    counter("svc.health.opens", h.opens);
+    counter("svc.health.closes", h.closes);
+    counter("svc.health.flaps", h.flaps);
+    counter("svc.health.probes", h.probes);
+    counter("svc.health.probe_failures", h.probe_failures);
+    counter("svc.health.chain_walks", h.chain_walks);
+    counter("svc.health.suspicions", h.suspicions);
+    counter("svc.health.integrity_reports", h.integrity_reports);
+    counter("svc.health.quarantine_hits", h.quarantine_hits);
+    counter("svc.health.rerouted_messages", h.rerouted_messages);
+    counter("svc.health.reroute_extra_hops", h.reroute_extra_hops);
+    counter("svc.health.remap_hosted", h.remap_hosted);
+    counter("svc.health.resent_parcels", h.resent_parcels);
+    counter("svc.health.deferrals", h.deferrals);
+    counter("svc.health.planned_around", h.planned_around);
+    counter("svc.health.permanent_quarantines", h.permanent_quarantines);
+    gauge("svc.health.open_breakers", h.open_breakers);
+    gauge("svc.health.half_open_breakers", h.half_open_breakers);
+    for (const ResourceHealth& r : h.resources) {
+      gauge("svc.health.breaker", static_cast<std::int64_t>(r.state),
+            {{"resource", resource_label(r)}, {"permanent", r.permanent ? "yes" : "no"}});
+    }
+    gauge("svc.retry.capacity", options_.health.retries.capacity);
+    gauge("svc.retry.available", retry_budget_->available());
+    counter("svc.retry.granted", retry_budget_->granted());
+    counter("svc.retry.denied", retry_budget_->denied());
+    counter("svc.retry.refilled", retry_budget_->refilled());
+  }
+
+  const auto by_key = [](const auto& a, const auto& b) {
+    return a.name != b.name ? a.name < b.name : a.labels < b.labels;
+  };
+  std::sort(out.counters.begin(), out.counters.end(), by_key);
+  std::sort(out.gauges.begin(), out.gauges.end(), by_key);
+  std::sort(out.histograms.begin(), out.histograms.end(), by_key);
+  return out;
 }
 
 }  // namespace torex

@@ -50,6 +50,8 @@
 #include "core/aape.hpp"
 #include "core/wire_buffer.hpp"
 #include "costmodel/params.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
 #include "obs/recorder.hpp"
 #include "runtime/communicator.hpp"
 #include "runtime/failure_detector.hpp"
@@ -96,6 +98,15 @@ struct SessionManagerOptions {
   HealthOptions health;
   /// Optional telemetry: svc.* counters/gauges and per-phase spans.
   Recorder* obs = nullptr;
+  /// Always-on per-session black box (obs/flight_recorder.hpp). The
+  /// manager dumps a session's ring on failure, deadline miss, and
+  /// breaker trips; `flight.enabled = false` turns the rings off (the
+  /// bench_obs overhead A/B — production keeps them on).
+  FlightRecorderOptions flight;
+  /// One-command repro line embedded in every flight dump ("" emits
+  /// an empty repro field). Harnesses set this to their own seeded
+  /// invocation so a dump is actionable on its own.
+  std::string repro_hint;
 
   void validate() const;
 };
@@ -167,6 +178,34 @@ class SessionManager {
   /// Human-readable breaker table (the CI failure artifact).
   std::string health_dump() const;
 
+  /// One emitted flight-recorder dump and what triggered it.
+  struct FlightDumpEntry {
+    SessionId session = -1;
+    std::string trigger;  ///< "session_failed" | "deadline_miss" | "breaker_trip"
+    std::string text;     ///< parseable via parse_flight_dump
+  };
+  /// Every dump emitted so far, in emission order (thread-safe copy).
+  /// Failing sessions also carry their final dump on
+  /// SessionRecord::flight_dump.
+  std::vector<FlightDumpEntry> flight_dumps() const;
+  /// The black box itself (for tests and external note sources).
+  FlightRecorder& flight_recorder() { return flight_; }
+
+  /// The manager's full observable surface as one labeled metrics
+  /// snapshot: per-tenant SLO ledger (svc.slo.*), service disposition
+  /// totals, wire/arena occupancy, breaker states and retry budget
+  /// (when the health layer is on), and the virtual clock. Pure
+  /// function of manager state — serialize with prometheus_text() /
+  /// json_snapshot() from obs/exposition.hpp.
+  MetricsSnapshot exposition_snapshot() const;
+
+  /// The per-tenant SLO ledger alone (labeled subset of the above):
+  /// queue-wait / service-time / end-to-end latency histograms in
+  /// milli-phase-cost units, deadline-miss attribution
+  /// (cause=shed|deferred|faulted|overload), retry-budget spend and
+  /// deferral time per tenant.
+  MetricsSnapshot slo_snapshot() const;
+
  private:
   struct Slot {
     SessionRecord record;
@@ -190,6 +229,19 @@ class SessionManager {
   Slot* pick_fairest();
   void health_maintenance();  ///< detector feed + probes at fault_tick_
 
+  /// SLO ledger counter for one tenant (slo_ registry, {tenant} label).
+  Counter& slo_counter(const char* name, const std::string& tenant);
+  /// Virtual-time interval in milli-phase-cost units (the SLO
+  /// histogram domain).
+  std::int64_t to_milliphase(double vt) const;
+  /// Renders + records one dump for the session (and, for terminal
+  /// triggers, stores it on the record and releases the ring).
+  void emit_flight_dump(Slot& s, const char* trigger, const std::string& reason, bool terminal);
+  /// Post-dispatch breaker-trip edge detection -> "breaker_trip" dump.
+  void maybe_breaker_trip_dump(Slot& s, int phase);
+  /// Per-tenant disposition split mirrored into the obs registry.
+  void obs_tenant_counter(const char* name, const std::string& tenant);
+
   TorusShape shape_;
   SuhShinAape schedule_;
   TorusCommunicator comm_;
@@ -207,6 +259,12 @@ class SessionManager {
   double vclock_ = 0.0;
   SvcStats stats_;
   WireArena arena_;  ///< shared frame pool, one per service
+
+  // Observability plane.
+  FlightRecorder flight_;                      ///< always-on black box
+  std::vector<FlightDumpEntry> flight_dumps_;  ///< emitted dumps, in order
+  MetricsRegistry slo_;                        ///< per-tenant SLO ledger (labeled)
+  std::int64_t last_opens_ = 0;                ///< breaker-trip edge detector
 
   // Health layer (all null/unused when disabled).
   std::unique_ptr<HealthRegistry> health_;

@@ -22,6 +22,8 @@
 #include "costmodel/models.hpp"
 #include "costmodel/params.hpp"
 #include "obs/chrome_trace.hpp"
+#include "obs/exposition.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/recorder.hpp"
 #include "runtime/communicator.hpp"

@@ -1,0 +1,493 @@
+// Tests for the observability plane: Prometheus/JSON exposition of
+// labeled metrics, the exposition linter/parser, the per-session
+// flight recorder, and the SessionManager integration that glues both
+// to torexd (SLO ledger, flight dumps on failure).
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/exchange_engine.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/exposition.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+#include "svc/session_manager.hpp"
+
+namespace torex {
+namespace {
+
+// --- Exposition formats --------------------------------------------------
+
+/// The fixed registry the golden file freezes: every exposition
+/// feature in one snapshot (unlabeled + labeled counters, a gauge
+/// family, a labeled histogram, a name needing sanitization).
+void fill_golden(MetricsRegistry& registry) {
+  registry.counter("svc.offered").add(3);
+  registry.counter("svc.offered", {{"tenant", "a"}}).add(2);
+  registry.counter("wire.bytes").add(1024);
+  registry.gauge("svc.queue_depth", {{"tenant", "a"}}).set(1);
+  registry.gauge("svc.queue_depth", {{"tenant", "b"}}).set(2);
+  Histogram& lat = registry.histogram("svc.slo.latency", {250, 500}, {{"tenant", "a"}});
+  lat.observe(100);
+  lat.observe(300);
+  lat.observe(9000);
+}
+
+TEST(ExpositionTest, PrometheusTextMatchesGolden) {
+  MetricsRegistry registry;
+  fill_golden(registry);
+  const std::string text = prometheus_text(registry.snapshot());
+
+  std::ifstream in(std::string(TOREX_GOLDEN_DIR) + "/exposition_golden.prom");
+  ASSERT_TRUE(in.good()) << "golden file missing: " << TOREX_GOLDEN_DIR
+                         << "/exposition_golden.prom";
+  std::stringstream golden;
+  golden << in.rdbuf();
+  EXPECT_EQ(text, golden.str()) << "regenerate tests/golden/exposition_golden.prom; actual:\n"
+                                << text;
+}
+
+TEST(ExpositionTest, PrometheusTextIsVersionedAndLints) {
+  MetricsRegistry registry;
+  fill_golden(registry);
+  const std::string text = prometheus_text(registry.snapshot());
+  std::string error;
+  std::vector<PromSample> samples;
+  int version = 0;
+  ASSERT_TRUE(parse_prometheus_text(text, &samples, &error, &version)) << error;
+  EXPECT_EQ(version, kExpositionVersion);
+  EXPECT_TRUE(prometheus_text_well_formed(text, &error)) << error;
+}
+
+TEST(ExpositionTest, ParseRoundTripsSamplesAndEscapes) {
+  MetricsRegistry registry;
+  registry.counter("svc.offered", {{"tenant", "a\"b\\c\nd"}}).add(7);
+  registry.gauge("depth").set(-3);
+  const std::string text = prometheus_text(registry.snapshot());
+
+  std::vector<PromSample> samples;
+  std::string error;
+  ASSERT_TRUE(parse_prometheus_text(text, &samples, &error)) << error;
+  ASSERT_EQ(samples.size(), 2u);
+  bool saw_counter = false;
+  for (const PromSample& s : samples) {
+    if (s.name != "svc_offered") continue;
+    saw_counter = true;
+    ASSERT_EQ(s.labels.size(), 1u);
+    EXPECT_EQ(s.labels[0].first, "tenant");
+    EXPECT_EQ(s.labels[0].second, "a\"b\\c\nd");  // escaping round-trips
+    EXPECT_DOUBLE_EQ(s.value, 7.0);
+  }
+  EXPECT_TRUE(saw_counter);
+}
+
+TEST(ExpositionTest, LinterRejectsMalformedText) {
+  const auto rejects = [](const std::string& text) {
+    std::string error;
+    const bool ok = prometheus_text_well_formed(text, &error);
+    EXPECT_FALSE(ok) << "accepted: " << text;
+    if (!ok) {
+      EXPECT_FALSE(error.empty());
+    }
+    return !ok;
+  };
+  EXPECT_TRUE(rejects("1bad_name 3\n"));
+  EXPECT_TRUE(rejects("name\n"));                       // missing value
+  EXPECT_TRUE(rejects("name 1x\n"));                    // trailing junk in value
+  EXPECT_TRUE(rejects("name{k=v} 1\n"));                // unquoted label value
+  EXPECT_TRUE(rejects("name{k=\"v\" 1\n"));             // unterminated label set
+  EXPECT_TRUE(rejects("name{k=\"v\\q\"} 1\n"));         // unknown escape
+  EXPECT_TRUE(rejects("name{=\"v\"} 1\n"));             // empty label key
+
+  // And the things it must accept.
+  std::string error;
+  EXPECT_TRUE(prometheus_text_well_formed("# a comment\n\nx_total{le=\"+Inf\"} 4\n", &error))
+      << error;
+  EXPECT_TRUE(prometheus_text_well_formed("x 2.5e-3\nx_neg -4\n", &error)) << error;
+}
+
+TEST(ExpositionTest, JsonSnapshotIsWellFormedAndVersioned) {
+  MetricsRegistry registry;
+  fill_golden(registry);
+  const std::string json = json_snapshot(registry.snapshot());
+  std::string error;
+  EXPECT_TRUE(json_well_formed(json, &error)) << error;
+  EXPECT_NE(json.find("\"version\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"svc.slo.latency\""), std::string::npos);
+  EXPECT_NE(json.find("\"bounds\":[250,500]"), std::string::npos);
+}
+
+TEST(ExpositionTest, SanitizeMetricName) {
+  EXPECT_EQ(sanitize_metric_name("svc.slo.latency"), "svc_slo_latency");
+  EXPECT_EQ(sanitize_metric_name("ok_name:x"), "ok_name:x");
+  EXPECT_EQ(sanitize_metric_name("9lives"), "_9lives");
+  EXPECT_EQ(sanitize_metric_name(""), "_");
+}
+
+// --- Flight recorder -----------------------------------------------------
+
+TEST(FlightRecorderTest, RingWrapsWithDropAccounting) {
+  FlightRecorderOptions options;
+  options.ring_capacity = 4;
+  FlightRecorder flight(options);
+  for (int i = 0; i < 6; ++i) flight.note(7, "tick", i, i + 1, 1, i * 10);
+  EXPECT_EQ(flight.recorded(7), 6);
+  EXPECT_EQ(flight.dropped(7), 2);
+  const auto events = flight.events(7);
+  ASSERT_EQ(events.size(), 4u);
+  // The surviving tail is the newest four, oldest first, with global
+  // sequence numbers (so the drop is visible as a seq gap from 0).
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, static_cast<std::int64_t>(i) + 2);
+    EXPECT_EQ(events[i].tick, static_cast<std::int64_t>(i) + 2);
+    EXPECT_EQ(events[i].name, "tick");
+  }
+  EXPECT_EQ(flight.recorded(99), 0);
+  flight.forget(7);
+  EXPECT_EQ(flight.recorded(7), 0);
+  EXPECT_EQ(flight.tracked_sessions(), 0u);
+}
+
+TEST(FlightRecorderTest, DisabledRecorderIsANoOp) {
+  FlightRecorderOptions options;
+  options.enabled = false;
+  FlightRecorder flight(options);
+  flight.note(1, "tick", 0);
+  EXPECT_EQ(flight.recorded(1), 0);
+  EXPECT_EQ(flight.tracked_sessions(), 0u);
+}
+
+TEST(FlightRecorderTest, OldestRingEvictsAtMaxSessions) {
+  FlightRecorderOptions options;
+  options.max_sessions = 2;
+  FlightRecorder flight(options);
+  flight.note(1, "a", 0);
+  flight.note(2, "b", 1);
+  flight.note(3, "c", 2);  // evicts session 1's ring
+  EXPECT_EQ(flight.tracked_sessions(), 2u);
+  EXPECT_EQ(flight.recorded(1), 0);
+  EXPECT_EQ(flight.recorded(2), 1);
+  EXPECT_EQ(flight.recorded(3), 1);
+}
+
+TEST(FlightRecorderTest, DumpParsesBackExactly) {
+  FlightRecorderOptions options;
+  options.ring_capacity = 3;
+  FlightRecorder flight(options);
+  for (int i = 0; i < 5; ++i) flight.note(11, i % 2 == 0 ? "wire.step" : "svc.dispatch", i, 1, i);
+  const std::string health = "breaker channel:4 open\nbreaker node:1 closed";
+  const std::string text =
+      flight.dump(11, "injected crash (phase 2)\nsecond line", health, "torex_verify --storm=4");
+
+  FlightDump dump;
+  std::string error;
+  ASSERT_TRUE(parse_flight_dump(text, &dump, &error)) << error << "\n" << text;
+  EXPECT_EQ(dump.version, 1);
+  EXPECT_EQ(dump.session, 11);
+  EXPECT_EQ(dump.reason, "injected crash (phase 2)\\nsecond line");  // folded to one line
+  EXPECT_EQ(dump.recorded, 5);
+  EXPECT_EQ(dump.dropped, 2);
+  ASSERT_EQ(dump.events.size(), 3u);
+  EXPECT_EQ(dump.events.front().seq, 2);
+  EXPECT_EQ(dump.events.back().seq, 4);
+  EXPECT_EQ(dump.events.back().name, "wire.step");
+  ASSERT_EQ(dump.health.size(), 2u);
+  EXPECT_EQ(dump.health[0], "breaker channel:4 open");
+  EXPECT_EQ(dump.repro, "torex_verify --storm=4");
+}
+
+TEST(FlightRecorderTest, ParserRejectsMalformedDumps) {
+  FlightRecorder flight;
+  flight.note(3, "tick", 0);
+  const std::string good = flight.dump(3, "why", "", "repro cmd");
+  FlightDump dump;
+  ASSERT_TRUE(parse_flight_dump(good, &dump, nullptr));
+
+  const auto rejects = [](std::string text) {
+    FlightDump out;
+    std::string error;
+    const bool ok = parse_flight_dump(text, &out, &error);
+    EXPECT_FALSE(ok) << "accepted:\n" << text;
+    if (!ok) {
+      EXPECT_FALSE(error.empty());
+    }
+  };
+  rejects("");
+  rejects("flight-recorder v2\n");  // wrong version
+  rejects(good.substr(0, good.size() / 2));  // truncated
+  {
+    // Tampered accounting: dropped must equal recorded - events.
+    std::string bad = good;
+    const auto pos = bad.find("dropped 0");
+    ASSERT_NE(pos, std::string::npos);
+    bad.replace(pos, 9, "dropped 5");
+    rejects(bad);
+  }
+  {
+    // Missing trailer.
+    std::string bad = good;
+    const auto pos = bad.find("end flight-recorder");
+    ASSERT_NE(pos, std::string::npos);
+    rejects(bad.substr(0, pos));
+  }
+}
+
+TEST(FlightRecorderTest, ConcurrentNotesAreRaceFreeAndBounded) {
+  // TSan coverage: several threads wrap one session's ring while
+  // others create fresh rings past the eviction bound.
+  FlightRecorderOptions options;
+  options.ring_capacity = 8;
+  options.max_sessions = 128;  // roomy: session 0's ring must survive the scatter
+  FlightRecorder flight(options);
+  constexpr int kThreads = 4;
+  constexpr int kIters = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&flight, t] {
+      for (int i = 0; i < kIters; ++i) {
+        flight.note(0, "shared", i, 1, 1, t);
+        flight.note(100 + (t * kIters + i) % 64, "scatter", i);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(flight.recorded(0), kThreads * kIters);
+  EXPECT_EQ(flight.dropped(0), kThreads * kIters - 8);
+  EXPECT_EQ(flight.events(0).size(), 8u);
+  EXPECT_LE(flight.tracked_sessions(), 128u);
+  FlightDump dump;
+  std::string error;
+  ASSERT_TRUE(parse_flight_dump(flight.dump(0, "post-race", "", ""), &dump, &error)) << error;
+}
+
+// --- SessionManager integration ------------------------------------------
+
+const TorusShape kShape({4, 4});
+constexpr Rank kN = 16;
+
+/// First Suh-Shin phase with steps (early phases are empty at extent
+/// 4, so injections target this phase to actually fire).
+int first_active_phase() {
+  const SuhShinAape algo(kShape);
+  for (int phase = 1; phase <= algo.num_phases(); ++phase) {
+    if (algo.steps_in_phase(phase) > 0) return phase;
+  }
+  return 0;
+}
+
+SessionRequest make_request(SessionId id, double arrival = 0.0) {
+  SessionRequest req;
+  req.arrival = arrival;
+  req.send.resize(static_cast<std::size_t>(kN));
+  for (Rank p = 0; p < kN; ++p) {
+    auto& row = req.send[static_cast<std::size_t>(p)];
+    row.resize(static_cast<std::size_t>(kN));
+    for (Rank q = 0; q < kN; ++q) {
+      row[static_cast<std::size_t>(q)] = (id << 20) ^ (static_cast<std::int64_t>(p) << 10) ^ q;
+    }
+  }
+  return req;
+}
+
+TEST(SvcFlightTest, CrashedSessionCarriesAParseableDumpAtTheFailingPhase) {
+  SessionManagerOptions options;
+  options.repro_hint = "build/tests/exposition_test --gtest_filter=SvcFlightTest.*";
+  SessionManager mgr(kShape, CostParams{}, options);
+  const int crash_phase = first_active_phase();
+  ASSERT_GT(crash_phase, 0);
+  SessionRequest doomed = make_request(0);
+  doomed.inject.crash_phase = crash_phase;
+  const SessionId id = mgr.submit(std::move(doomed));
+  mgr.submit(make_request(1));
+  mgr.run_until_idle();
+
+  const SessionRecord record = mgr.record(id);
+  ASSERT_EQ(record.state, SessionState::kFailed);
+  ASSERT_FALSE(record.flight_dump.empty());
+
+  FlightDump dump;
+  std::string error;
+  ASSERT_TRUE(parse_flight_dump(record.flight_dump, &dump, &error))
+      << error << "\n" << record.flight_dump;
+  EXPECT_EQ(dump.session, id);
+  EXPECT_NE(dump.reason.find("injected session crash"), std::string::npos);
+  EXPECT_EQ(dump.repro, options.repro_hint);
+  ASSERT_FALSE(dump.events.empty());
+  // The black box's final event is the crash itself, at the failing
+  // phase/step.
+  EXPECT_EQ(dump.events.back().name, "svc.crash");
+  EXPECT_EQ(dump.events.back().phase, crash_phase);
+  EXPECT_EQ(dump.events.back().step, 1);
+
+  const auto dumps = mgr.flight_dumps();
+  ASSERT_EQ(dumps.size(), 1u);
+  EXPECT_EQ(dumps[0].session, id);
+  EXPECT_EQ(dumps[0].trigger, "session_failed");
+  EXPECT_EQ(dumps[0].text, record.flight_dump);
+
+  // The healthy session ran clean: no dump, ring released at retire.
+  EXPECT_TRUE(mgr.record(1).flight_dump.empty());
+  EXPECT_EQ(mgr.flight_recorder().tracked_sessions(), 0u);
+}
+
+TEST(SvcFlightTest, DisabledFlightRecorderLeavesNoDumps) {
+  SessionManagerOptions options;
+  options.flight.enabled = false;
+  SessionManager mgr(kShape, CostParams{}, options);
+  SessionRequest doomed = make_request(0);
+  doomed.inject.crash_phase = first_active_phase();
+  const SessionId id = mgr.submit(std::move(doomed));
+  mgr.run_until_idle();
+  EXPECT_EQ(mgr.record(id).state, SessionState::kFailed);
+  EXPECT_TRUE(mgr.record(id).flight_dump.empty());
+  EXPECT_TRUE(mgr.flight_dumps().empty());
+}
+
+TEST(SvcFlightTest, DeadlineMissDumpsAndAttributesCause) {
+  SessionManagerOptions options;
+  options.max_active = 1;
+  SessionManager mgr(kShape, CostParams{}, options);
+  SessionRequest hurried = make_request(0);
+  hurried.deadline = mgr.phase_cost() * 1.5;  // expires after one phase
+  const SessionId id = mgr.submit(std::move(hurried));
+  mgr.run_until_idle();
+
+  const SessionRecord record = mgr.record(id);
+  ASSERT_EQ(record.state, SessionState::kDeadlineMissed);
+  ASSERT_FALSE(record.flight_dump.empty());
+  FlightDump dump;
+  std::string error;
+  ASSERT_TRUE(parse_flight_dump(record.flight_dump, &dump, &error)) << error;
+  EXPECT_EQ(dump.session, id);
+
+  // No deferrals, no retries: the miss is attributed to overload.
+  const MetricsSnapshot slo = mgr.slo_snapshot();
+  EXPECT_EQ(slo.counter_value("svc.slo.deadline_missed",
+                              {{"tenant", "default"}, {"cause", "overload"}}),
+            1);
+  const auto dumps = mgr.flight_dumps();
+  ASSERT_EQ(dumps.size(), 1u);
+  EXPECT_EQ(dumps[0].trigger, "deadline_miss");
+}
+
+TEST(SvcSloTest, LedgerMatchesDispositionStats) {
+  SessionManagerOptions options;
+  options.max_active = 2;
+  SessionManager mgr(kShape, CostParams{}, options);
+  mgr.submit(make_request(0));
+  SessionRequest other = make_request(1);
+  other.tenant = "batch";
+  mgr.submit(std::move(other));
+  SessionRequest doomed = make_request(2);
+  doomed.inject.crash_phase = first_active_phase();
+  mgr.submit(std::move(doomed));
+  mgr.run_until_idle();
+
+  const SvcStats stats = mgr.stats();
+  EXPECT_EQ(stats.completed, 2);
+  EXPECT_EQ(stats.failed, 1);
+
+  const MetricsSnapshot slo = mgr.slo_snapshot();
+  EXPECT_EQ(slo.counter_value("svc.slo.offered", {{"tenant", "default"}}), 2);
+  EXPECT_EQ(slo.counter_value("svc.slo.offered", {{"tenant", "batch"}}), 1);
+  EXPECT_EQ(slo.counter_value("svc.slo.completed", {{"tenant", "default"}}), 1);
+  EXPECT_EQ(slo.counter_value("svc.slo.completed", {{"tenant", "batch"}}), 1);
+  EXPECT_EQ(slo.counter_value("svc.slo.failed", {{"tenant", "default"}}), 1);
+
+  // Latency decomposition: every admitted session observed queue-wait
+  // and service-time; only completions observed end-to-end latency.
+  const HistogramSnapshot* wait = slo.histogram("svc.slo.queue_wait", {{"tenant", "default"}});
+  ASSERT_NE(wait, nullptr);
+  EXPECT_EQ(wait->count, 2);
+  const HistogramSnapshot* service =
+      slo.histogram("svc.slo.service_time", {{"tenant", "default"}});
+  ASSERT_NE(service, nullptr);
+  EXPECT_EQ(service->count, 2);
+  const HistogramSnapshot* latency = slo.histogram("svc.slo.latency", {{"tenant", "default"}});
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->count, 1);
+  EXPECT_GT(latency->percentile(0.5), 0.0);
+
+  // Sent parcels are attributed per tenant and cover every session.
+  const std::int64_t parcels = slo.counter_value("svc.slo.parcels", {{"tenant", "default"}}) +
+                               slo.counter_value("svc.slo.parcels", {{"tenant", "batch"}});
+  EXPECT_GT(parcels, 0);
+}
+
+TEST(SvcSloTest, ExpositionSnapshotLintsAndMatchesStats) {
+  Recorder recorder;
+  SessionManagerOptions options;
+  options.obs = &recorder;
+  SessionManager mgr(kShape, CostParams{}, options);
+  mgr.submit(make_request(0));
+  SessionRequest doomed = make_request(1);
+  doomed.inject.corrupt_phase = first_active_phase();
+  mgr.submit(std::move(doomed));
+  mgr.run_until_idle();
+
+  const SvcStats stats = mgr.stats();
+  const MetricsSnapshot exposition = mgr.exposition_snapshot();
+  EXPECT_EQ(exposition.counter_value("svc.offered"), stats.offered);
+  EXPECT_EQ(exposition.counter_value("svc.completed"), stats.completed);
+  EXPECT_EQ(exposition.counter_value("svc.failed"), stats.failed);
+  EXPECT_EQ(exposition.counter_value("svc.phases"), stats.phases_executed);
+  EXPECT_EQ(exposition.counter_value("svc.parcels_delivered"), stats.parcels_delivered);
+  EXPECT_EQ(exposition.gauge_value("svc.active_sessions"), 0);
+  EXPECT_EQ(exposition.gauge_value("wire.outstanding_frames"), 0);
+  EXPECT_GT(exposition.counter_value("wire.messages"), 0);
+  EXPECT_EQ(exposition.counter_value("svc.slo.offered", {{"tenant", "default"}}),
+            stats.offered);
+  EXPECT_EQ(exposition.counter_value("svc.flight.dumps"), 1);
+
+  // Both wire formats of the full snapshot are valid.
+  std::string error;
+  const std::string text = prometheus_text(exposition);
+  EXPECT_TRUE(prometheus_text_well_formed(text, &error)) << error;
+  EXPECT_TRUE(json_well_formed(json_snapshot(exposition), &error)) << error;
+
+  // The per-tenant labeled series really are split in the text form.
+  EXPECT_NE(text.find("svc_slo_offered{tenant=\"default\"} 2"), std::string::npos);
+}
+
+TEST(SvcSloTest, HealthBreakerStatesAppearInExposition) {
+  // Fault the first step-1 transfer of the 4x4 quarter phase (phase 3):
+  // a channel the schedule is guaranteed to cross, discovered by the
+  // lone session at fault tick 2.
+  const SuhShinAape algo(kShape);
+  const ExchangeTrace trace = ExchangeEngine(algo, EngineOptions{}).run_verified();
+  const TransferRecord* victim = nullptr;
+  for (const StepRecord& step : trace.steps) {
+    if (step.phase == 3 && step.step == 1 && !step.transfers.empty()) {
+      victim = &step.transfers.front();
+      break;
+    }
+  }
+  ASSERT_NE(victim, nullptr);
+
+  SessionManagerOptions options;
+  options.health.enabled = true;
+  options.service_faults.fail_channel(victim->src, victim->dir, 2, 4);
+  SessionManager mgr(kShape, CostParams{}, options);
+  mgr.submit(make_request(0));
+  mgr.run_until_idle();
+  ASSERT_EQ(mgr.record(0).state, SessionState::kCompleted) << mgr.record(0).error;
+
+  const MetricsSnapshot exposition = mgr.exposition_snapshot();
+  EXPECT_GT(exposition.counter_value("svc.health.errors"), 0);
+  EXPECT_GT(exposition.counter_value("svc.health.opens"), 0);
+  EXPECT_GT(exposition.counter_value("svc.retry.granted"), 0);
+  bool saw_breaker = false;
+  for (const GaugeSnapshot& g : exposition.gauges) {
+    if (g.name == "svc.health.breaker") saw_breaker = true;
+  }
+  EXPECT_TRUE(saw_breaker);
+  std::string error;
+  EXPECT_TRUE(prometheus_text_well_formed(prometheus_text(exposition), &error)) << error;
+}
+
+}  // namespace
+}  // namespace torex

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -142,6 +143,113 @@ TEST(MetricsTest, RegistryFindOrCreateAndKindCollision) {
   EXPECT_EQ(snapshot.counter_value("never.registered"), 0);
 }
 
+TEST(MetricsTest, LabeledMetricsAreDistinctInstruments) {
+  MetricsRegistry registry;
+  registry.counter("svc.offered").add(1);
+  registry.counter("svc.offered", {{"tenant", "a"}}).add(10);
+  registry.counter("svc.offered", {{"tenant", "b"}}).add(20);
+  // Label order does not matter: the registry canonicalizes by key.
+  registry.counter("x", {{"b", "2"}, {"a", "1"}}).add(7);
+  EXPECT_EQ(registry.counter("x", {{"a", "1"}, {"b", "2"}}).value(), 7);
+
+  const MetricsSnapshot snapshot = registry.snapshot();
+  // The unlabeled lookup matches only the unlabeled instrument.
+  EXPECT_EQ(snapshot.counter_value("svc.offered"), 1);
+  EXPECT_EQ(snapshot.counter_value("svc.offered", {{"tenant", "a"}}), 10);
+  EXPECT_EQ(snapshot.counter_value("svc.offered", {{"tenant", "b"}}), 20);
+  EXPECT_EQ(snapshot.counter_value("svc.offered", {{"tenant", "absent"}}), 0);
+
+  registry.gauge("depth", {{"tenant", "a"}}).set(3);
+  EXPECT_EQ(registry.snapshot().gauge_value("depth", {{"tenant", "a"}}), 3);
+  EXPECT_EQ(registry.snapshot().gauge_value("depth"), 0);
+
+  // A name owns one kind across every label set.
+  EXPECT_THROW(registry.gauge("svc.offered", {{"tenant", "c"}}), std::logic_error);
+  EXPECT_THROW(registry.counter("depth"), std::logic_error);
+
+  // Malformed labels are rejected outright.
+  EXPECT_THROW(registry.counter("bad", {{"", "v"}}), std::exception);
+  EXPECT_THROW(registry.counter("bad", {{"k", "1"}, {"k", "2"}}), std::exception);
+}
+
+TEST(MetricsTest, LabeledHistogramSnapshotLookup) {
+  MetricsRegistry registry;
+  registry.histogram("lat", {10, 100}, {{"tenant", "a"}}).observe(5);
+  registry.histogram("lat", {10, 100}, {{"tenant", "a"}}).observe(50);
+  const MetricsSnapshot snapshot = registry.snapshot();
+  const HistogramSnapshot* h = snapshot.histogram("lat", {{"tenant", "a"}});
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 2);
+  EXPECT_EQ(h->sum, 55);
+  EXPECT_EQ(snapshot.histogram("lat"), nullptr);
+  EXPECT_EQ(snapshot.histogram("lat", {{"tenant", "b"}}), nullptr);
+}
+
+TEST(MetricsTest, HistogramPercentileInterpolates) {
+  Histogram histogram({100, 200, 400});
+  for (std::int64_t v = 1; v <= 100; ++v) histogram.observe(v);
+  // All mass in the first bucket: the median interpolates inside it.
+  const double p50 = histogram.percentile(0.5);
+  EXPECT_GT(p50, 25.0);
+  EXPECT_LT(p50, 75.0);
+  EXPECT_DOUBLE_EQ(histogram.percentile(0.0), 1.0);   // min
+  EXPECT_DOUBLE_EQ(histogram.percentile(1.0), 100.0); // max
+
+  Histogram overflowing({10});
+  overflowing.observe(5);
+  overflowing.observe(1000);
+  // p99 lives in the overflow bucket, which interpolates up to max.
+  EXPECT_LE(overflowing.percentile(0.99), 1000.0);
+  EXPECT_GT(overflowing.percentile(0.99), 10.0);
+
+  Histogram empty({10});
+  EXPECT_DOUBLE_EQ(empty.percentile(0.5), 0.0);
+
+  // The snapshot computes the same estimate from copied buckets.
+  MetricsRegistry registry;
+  Histogram& reg = registry.histogram("h", {100, 200, 400});
+  for (std::int64_t v = 1; v <= 100; ++v) reg.observe(v);
+  const MetricsSnapshot snapshot = registry.snapshot();
+  const HistogramSnapshot* snap = snapshot.histogram("h");
+  ASSERT_NE(snap, nullptr);
+  EXPECT_DOUBLE_EQ(snap->percentile(0.5), p50);
+}
+
+TEST(MetricsTest, FreePercentileMatchesOrderStatistics) {
+  EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 0.99), 7.0);
+  EXPECT_DOUBLE_EQ(percentile({4.0, 1.0, 3.0, 2.0}, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({4.0, 1.0, 3.0, 2.0}, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile({4.0, 1.0, 3.0, 2.0}, 0.5), 2.5);
+}
+
+TEST(MetricsTest, ConcurrentLabeledUpdatesAreRaceFree) {
+  // TSan coverage: registration (registry mutex) races against
+  // lock-free updates across many label sets.
+  MetricsRegistry registry;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      const std::string tenant = "t" + std::to_string(t % 2);
+      for (int i = 0; i < kIters; ++i) {
+        registry.counter("conc.count", {{"tenant", tenant}}).add();
+        registry.gauge("conc.level", {{"tenant", tenant}}).set(i);
+        registry.histogram("conc.lat", {10, 100}, {{"tenant", tenant}}).observe(i % 128);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const MetricsSnapshot snapshot = registry.snapshot();
+  const std::int64_t total = snapshot.counter_value("conc.count", {{"tenant", "t0"}}) +
+                             snapshot.counter_value("conc.count", {{"tenant", "t1"}});
+  EXPECT_EQ(total, kThreads * kIters);
+  const HistogramSnapshot* h = snapshot.histogram("conc.lat", {{"tenant", "t0"}});
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, (kThreads / 2) * kIters);
+}
+
 TEST(ChromeTraceTest, ExportIsWellFormedJson) {
   Recorder recorder;
   {
@@ -156,6 +264,33 @@ TEST(ChromeTraceTest, ExportIsWellFormedJson) {
   EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
   EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
   EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+}
+
+TEST(ChromeTraceTest, DropAccountingLandsInTraceMetadataAndSummary) {
+  ObsOptions options;
+  options.events_per_thread = 4;
+  Recorder recorder(options);
+  for (int i = 0; i < 10; ++i) recorder.instant("tick");
+  const Telemetry telemetry = recorder.snapshot();
+  const std::string json = chrome_trace_json(telemetry);
+  std::string error;
+  EXPECT_TRUE(json_well_formed(json, &error)) << error;
+  // The telemetry metadata event carries the drop count, so a trace
+  // file is self-describing about its own completeness.
+  EXPECT_NE(json.find("\"name\":\"telemetry\""), std::string::npos);
+  EXPECT_NE(json.find("\"dropped_events\":6"), std::string::npos);
+
+  PhaseSummary summary;
+  summary.dropped_events = telemetry.dropped_events;
+  summary.streams = telemetry.streams;
+  std::ostringstream os;
+  print_phase_summary(os, summary);
+  EXPECT_NE(os.str().find("6 dropped event(s)"), std::string::npos);
+  EXPECT_NE(os.str().find("WARNING"), std::string::npos);
+
+  std::ostringstream clean;
+  print_phase_summary(clean, PhaseSummary{});
+  EXPECT_EQ(clean.str().find("WARNING"), std::string::npos);
 }
 
 TEST(ChromeTraceTest, ValidatorRejectsMalformedJson) {

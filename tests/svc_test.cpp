@@ -440,7 +440,7 @@ TEST(SvcTelemetryTest, CountersAndGaugesMirrorStats) {
   EXPECT_GT(stats.rejected, 0) << "the 1-deep queue must have shed";
   EXPECT_EQ(telemetry.metrics.gauge_value("svc.active_sessions"), 0);
   EXPECT_EQ(telemetry.metrics.gauge_value("svc.queued_sessions"), 0);
-  EXPECT_EQ(telemetry.metrics.gauge_value("svc.queue_depth.default"), 0);
+  EXPECT_EQ(telemetry.metrics.gauge_value("svc.queue_depth", {{"tenant", "default"}}), 0);
   // Per-phase spans were recorded under the literal svc.phase name.
   bool saw_phase_span = false;
   for (const TelemetryEvent& event : telemetry.events) {

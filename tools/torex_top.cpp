@@ -1,0 +1,345 @@
+// torex_top: terminal viewer for a live torexd exposition snapshot.
+//
+// Reads the Prometheus-text snapshot file that `svc_loadgen
+// --snapshot=FILE` (or any torexd host publishing
+// SessionManager::exposition_snapshot()) atomically renames into
+// place, and renders:
+//
+//   * a header: exposition version, virtual time / fault tick,
+//     active / queued sessions, arena frames, flight-recorder state,
+//     and parcels/sec computed from counter deltas between polls;
+//   * a per-tenant SLO table: offered / completed / failed / shed,
+//     parcels moved, deadline misses, and p50/p99 of queue-wait and
+//     end-to-end latency (milliphase series scaled back to phases);
+//   * the health breaker table and retry budget, when the snapshot
+//     carries the health series.
+//
+// Modes:
+//   --once       render a single frame and exit (CI smoke);
+//   --lint       parse + lint the snapshot, print sample counts, exit;
+//   (default)    poll every --interval-ms; exit 0 once the service
+//                reads idle, or after --max-polls frames (0 = until
+//                idle).
+//
+// The tool only ever reads the snapshot file, so it cannot perturb
+// the run's conservation self-checks. Exit is nonzero when the file
+// never appears within --wait-ms or any frame fails to parse.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/exposition.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace torex;
+
+/// One parsed snapshot plus the wall-clock instant it was read.
+struct Frame {
+  int version = 0;
+  std::vector<PromSample> samples;
+  std::chrono::steady_clock::time_point read_at;
+};
+
+/// Reads and parses the snapshot file. Returns false with `error` set
+/// when the file is missing or malformed (the publisher renames whole
+/// files into place, so a parse failure is a real format bug, not a
+/// torn write).
+bool read_frame(const std::string& path, Frame& frame, std::string& error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  frame.samples.clear();
+  if (!parse_prometheus_text(buffer.str(), &frame.samples, &error, &frame.version)) {
+    error = path + ": " + error;
+    return false;
+  }
+  frame.read_at = std::chrono::steady_clock::now();
+  return true;
+}
+
+/// Value of the sample with this exact (name, labels); fallback when
+/// absent. Labels may be passed in any order.
+double scalar(const Frame& frame, const std::string& name, MetricLabels labels = {},
+              double fallback = 0.0) {
+  const MetricLabels want = canonical_labels(std::move(labels));
+  for (const PromSample& sample : frame.samples) {
+    if (sample.name == name && sample.labels == want) return sample.value;
+  }
+  return fallback;
+}
+
+/// All values taken by `key` across samples named `name`.
+std::vector<std::string> label_values(const Frame& frame, const std::string& name,
+                                      const std::string& key) {
+  std::set<std::string> seen;
+  for (const PromSample& sample : frame.samples) {
+    if (sample.name != name) continue;
+    for (const auto& [label_key, label_value] : sample.labels) {
+      if (label_key == key) seen.insert(label_value);
+    }
+  }
+  return {seen.begin(), seen.end()};
+}
+
+/// A histogram reassembled from its exploded Prometheus series:
+/// cumulative (upper bound, count) pairs sorted by bound, +Inf last.
+struct CumulativeHistogram {
+  std::vector<std::pair<double, double>> buckets;  ///< (le, cumulative count)
+  double count = 0;
+  double sum = 0;
+};
+
+/// Gathers `base`_bucket/_sum/_count for one tenant. The `le` label is
+/// stripped before matching the remaining labels.
+CumulativeHistogram gather_histogram(const Frame& frame, const std::string& base,
+                                     const MetricLabels& labels) {
+  const MetricLabels want = canonical_labels(labels);
+  CumulativeHistogram hist;
+  for (const PromSample& sample : frame.samples) {
+    if (sample.name == base + "_sum" && sample.labels == want) hist.sum = sample.value;
+    if (sample.name == base + "_count" && sample.labels == want) hist.count = sample.value;
+    if (sample.name != base + "_bucket") continue;
+    double le = 0.0;
+    MetricLabels rest;
+    bool has_le = false;
+    for (const auto& [key, value] : sample.labels) {
+      if (key == "le") {
+        has_le = true;
+        le = value == "+Inf" ? std::numeric_limits<double>::infinity() : std::stod(value);
+      } else {
+        rest.push_back({key, value});
+      }
+    }
+    if (!has_le || canonical_labels(std::move(rest)) != want) continue;
+    hist.buckets.push_back({le, sample.value});
+  }
+  std::sort(hist.buckets.begin(), hist.buckets.end());
+  return hist;
+}
+
+/// q-th quantile from cumulative buckets by linear interpolation inside
+/// the covering bucket. The +Inf bucket reports the last finite bound
+/// (the snapshot does not carry the observed max). 0 when empty.
+double histogram_percentile(const CumulativeHistogram& hist, double q) {
+  if (hist.count <= 0 || hist.buckets.empty()) return 0.0;
+  const double target = q * hist.count;
+  double prev_bound = 0.0;
+  double prev_cum = 0.0;
+  for (const auto& [bound, cum] : hist.buckets) {
+    if (cum >= target) {
+      if (std::isinf(bound)) return prev_bound;
+      const double in_bucket = cum - prev_cum;
+      if (in_bucket <= 0) return bound;
+      const double fraction = (target - prev_cum) / in_bucket;
+      return prev_bound + fraction * (bound - prev_bound);
+    }
+    prev_bound = std::isinf(bound) ? prev_bound : bound;
+    prev_cum = cum;
+  }
+  return prev_bound;
+}
+
+/// Milliphase -> phases for display.
+double phases(double milliphase) { return milliphase / 1000.0; }
+
+void render(const Frame& frame, const Frame* previous, std::ostream& os) {
+  const double vt_mphase = scalar(frame, "svc_virtual_time_milliphase");
+  os << "torexd  vt " << compact_double(phases(vt_mphase), 1) << " phases"
+     << "  tick " << static_cast<std::int64_t>(scalar(frame, "svc_fault_tick")) << "  active "
+     << static_cast<std::int64_t>(scalar(frame, "svc_active_sessions")) << "  queued "
+     << static_cast<std::int64_t>(scalar(frame, "svc_queued_sessions")) << "  arriving "
+     << static_cast<std::int64_t>(scalar(frame, "svc_pending_arrivals")) << "  arena "
+     << static_cast<std::int64_t>(scalar(frame, "wire_outstanding_frames")) << "/"
+     << static_cast<std::int64_t>(scalar(frame, "wire_peak_in_use")) << " frames"
+     << "  flight " << static_cast<std::int64_t>(scalar(frame, "svc_flight_tracked_sessions"))
+     << " rings, " << static_cast<std::int64_t>(scalar(frame, "svc_flight_dumps")) << " dumps\n";
+
+  // Throughput from counter deltas between polls; "-" on first frame.
+  std::string rate = "-";
+  if (previous != nullptr) {
+    const double elapsed =
+        std::chrono::duration<double>(frame.read_at - previous->read_at).count();
+    const double delta = scalar(frame, "wire_parcels") - scalar(*previous, "wire_parcels");
+    if (elapsed > 0 && delta >= 0) rate = compact_double(delta / elapsed, 0);
+  }
+  os << "sessions  offered " << static_cast<std::int64_t>(scalar(frame, "svc_offered"))
+     << "  completed " << static_cast<std::int64_t>(scalar(frame, "svc_completed"))
+     << "  failed " << static_cast<std::int64_t>(scalar(frame, "svc_failed")) << "  shed "
+     << static_cast<std::int64_t>(scalar(frame, "svc_rejected")) << "  deadline-missed "
+     << static_cast<std::int64_t>(scalar(frame, "svc_deadline_missed")) << "  parcels/sec "
+     << rate << "\n";
+
+  // --- Per-tenant SLO table, keyed off svc_slo_offered.
+  const std::vector<std::string> tenants = label_values(frame, "svc_slo_offered", "tenant");
+  if (!tenants.empty()) {
+    TextTable table({"tenant", "offered", "done", "fail", "shed", "miss", "parcels", "q p50",
+                     "lat p50", "lat p99"});
+    table.set_align(0, TextTable::Align::kLeft);
+    for (const std::string& tenant : tenants) {
+      const MetricLabels by_tenant = {{"tenant", tenant}};
+      double missed = 0;
+      for (const std::string& cause :
+           label_values(frame, "svc_slo_deadline_missed", "cause")) {
+        missed += scalar(frame, "svc_slo_deadline_missed",
+                         {{"tenant", tenant}, {"cause", cause}});
+      }
+      const CumulativeHistogram queue_wait =
+          gather_histogram(frame, "svc_slo_queue_wait", by_tenant);
+      const CumulativeHistogram latency = gather_histogram(frame, "svc_slo_latency", by_tenant);
+      table.start_row()
+          .cell(tenant)
+          .cell(static_cast<std::int64_t>(scalar(frame, "svc_slo_offered", by_tenant)))
+          .cell(static_cast<std::int64_t>(scalar(frame, "svc_slo_completed", by_tenant)))
+          .cell(static_cast<std::int64_t>(scalar(frame, "svc_slo_failed", by_tenant)))
+          .cell(static_cast<std::int64_t>(scalar(frame, "svc_slo_rejected", by_tenant)))
+          .cell(static_cast<std::int64_t>(missed))
+          .cell(static_cast<std::int64_t>(scalar(frame, "svc_slo_parcels", by_tenant)))
+          .cell(phases(histogram_percentile(queue_wait, 0.50)), 1)
+          .cell(phases(histogram_percentile(latency, 0.50)), 1)
+          .cell(phases(histogram_percentile(latency, 0.99)), 1);
+    }
+    table.print(os);
+  }
+
+  // --- Health: breaker states and retry budget, when exported.
+  const std::vector<std::string> resources = label_values(frame, "svc_health_breaker", "resource");
+  if (!resources.empty()) {
+    os << "health  errors " << static_cast<std::int64_t>(scalar(frame, "svc_health_errors"))
+       << "  opens " << static_cast<std::int64_t>(scalar(frame, "svc_health_opens"))
+       << "  open now " << static_cast<std::int64_t>(scalar(frame, "svc_health_open_breakers"))
+       << "  half-open "
+       << static_cast<std::int64_t>(scalar(frame, "svc_health_half_open_breakers"))
+       << "  retry budget "
+       << static_cast<std::int64_t>(scalar(frame, "svc_retry_available")) << "/"
+       << static_cast<std::int64_t>(scalar(frame, "svc_retry_capacity")) << "\n";
+    TextTable breakers({"resource", "state", "permanent"});
+    breakers.set_align(0, TextTable::Align::kLeft);
+    breakers.set_align(1, TextTable::Align::kLeft);
+    constexpr std::size_t kMaxBreakerRows = 16;
+    std::size_t shown = 0;
+    for (const std::string& resource : resources) {
+      bool tripped = false;
+      for (const char* permanent : {"no", "yes"}) {
+        const double state =
+            scalar(frame, "svc_health_breaker",
+                   {{"resource", resource}, {"permanent", permanent}}, -1.0);
+        if (state < 0) continue;
+        // Closed breakers are the healthy steady state; show trips only.
+        if (state == 0.0) continue;
+        tripped = true;
+        if (shown < kMaxBreakerRows) {
+          breakers.start_row()
+              .cell(resource)
+              .cell(state == 1.0 ? "open" : "half-open")
+              .cell(permanent);
+        }
+        ++shown;
+      }
+      (void)tripped;
+    }
+    if (breakers.row_count() > 0) {
+      breakers.print(os);
+      if (shown > kMaxBreakerRows) {
+        os << "  ... and " << (shown - kMaxBreakerRows) << " more tripped breaker(s)\n";
+      }
+    } else {
+      os << "  all " << resources.size() << " breakers closed\n";
+    }
+  }
+}
+
+bool is_idle(const Frame& frame) {
+  return scalar(frame, "svc_active_sessions") == 0 && scalar(frame, "svc_queued_sessions") == 0 &&
+         scalar(frame, "svc_pending_arrivals") == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const CliFlags flags = CliFlags::parse(
+        argc, argv, {"snapshot", "interval-ms", "max-polls", "wait-ms", "once", "lint"});
+    const std::string path = flags.get_string("snapshot", "");
+    if (path.empty()) {
+      std::cerr << "torex_top: --snapshot=FILE is required (feed it from "
+                   "`svc_loadgen --snapshot=FILE`)\n";
+      return 1;
+    }
+    const auto interval_ms = flags.get_int("interval-ms", 500, 1, 60000);
+    const auto max_polls = flags.get_int("max-polls", 0, 0, 1 << 20);
+    const auto wait_ms = flags.get_int("wait-ms", 5000, 0, 600000);
+    const bool once = flags.get_bool("once", false);
+    const bool lint_only = flags.get_bool("lint", false);
+
+    // Wait for the publisher's first rename, then parse.
+    Frame frame;
+    std::string error;
+    const auto give_up = std::chrono::steady_clock::now() + std::chrono::milliseconds(wait_ms);
+    while (!read_frame(path, frame, error)) {
+      if ((once && !error.empty() && error.find("cannot open") == std::string::npos) ||
+          std::chrono::steady_clock::now() >= give_up) {
+        std::cerr << "torex_top: " << error << "\n";
+        return 1;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    if (frame.version != kExpositionVersion) {
+      std::cerr << "torex_top: snapshot has exposition version " << frame.version
+                << ", this build understands " << kExpositionVersion << "\n";
+      return 1;
+    }
+
+    if (lint_only) {
+      std::size_t histogram_series = 0;
+      for (const PromSample& sample : frame.samples) {
+        for (const auto& [key, value] : sample.labels) {
+          if (key == "le") ++histogram_series;
+        }
+      }
+      std::cout << "exposition OK: version " << frame.version << ", " << frame.samples.size()
+                << " samples (" << histogram_series << " histogram buckets)\n";
+      return 0;
+    }
+
+    render(frame, nullptr, std::cout);
+    if (once) return 0;
+
+    Frame previous = frame;
+    for (std::int64_t polls = 1; max_polls == 0 || polls < max_polls; ++polls) {
+      if (is_idle(previous)) {
+        std::cout << "service idle — exiting\n";
+        return 0;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+      Frame next;
+      if (!read_frame(path, next, error)) {
+        std::cerr << "torex_top: " << error << "\n";
+        return 1;
+      }
+      std::cout << "\n";
+      render(next, &previous, std::cout);
+      previous = std::move(next);
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "torex_top: " << error.what() << "\n";
+    return 1;
+  }
+}

@@ -51,9 +51,15 @@
 // --trace=FILE attaches a telemetry recorder to every run in the sweep
 // (engine executions, fault recoveries, chaos rounds) and dumps the
 // merged Chrome trace-event JSON to FILE at the end. A large sweep can
-// overflow the bounded event buffers; the report then echoes how many
-// events were dropped so a truncated trace is never mistaken for a
-// complete one.
+// overflow the bounded event buffers; any dropped event FAILS the run
+// (a truncated trace must never be mistaken for a complete one) —
+// raise --trace-capacity (events per thread) until the sweep fits.
+//
+// The session sweeps also audit the flight recorder: every injected
+// victim failure must retire carrying a parseable black-box dump whose
+// final events land on the failing phase, and every storm must leave
+// parseable breaker-trip dumps behind. Offending dumps are saved as
+// flight_*.txt artifacts for CI to upload.
 #include <fstream>
 #include <iostream>
 #include <limits>
@@ -63,6 +69,7 @@
 #include "core/data_array.hpp"
 #include "core/exchange_engine.hpp"
 #include "obs/chrome_trace.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/recorder.hpp"
 #include "runtime/communicator.hpp"
 #include "sim/contention.hpp"
@@ -103,9 +110,25 @@ std::uint64_t shape_seed(const TorusShape& shape, std::uint64_t base) {
 /// One-command repro echoed with every chaos-harness FAIL: the sweep
 /// flag plus the seed pins the exact failing run (the chaos shapes are
 /// fixed, so --max-nodes=4 skips the unrelated enumeration sweep).
+std::string repro_command(const std::string& sweep_flags, std::uint64_t base_seed) {
+  return "torex_verify --max-nodes=4 " + sweep_flags + " --seed=" + std::to_string(base_seed);
+}
+
 std::string repro(const std::string& sweep_flags, std::uint64_t base_seed) {
-  return "  repro: torex_verify --max-nodes=4 " + sweep_flags +
-         " --seed=" + std::to_string(base_seed);
+  return "  repro: " + repro_command(sweep_flags, base_seed);
+}
+
+/// Saves a flight-recorder dump next to the binary so CI can upload it
+/// alongside the FAIL line.
+void save_flight_artifact(const std::string& tag, const std::string& text) {
+  const std::string path = "flight_" + tag + ".txt";
+  std::ofstream out(path);
+  if (out) {
+    out << text;
+    std::cerr << "  flight-recorder artifact saved: " << path << '\n';
+  } else {
+    std::cerr << "  flight-recorder artifact NOT saved: cannot write " << path << '\n';
+  }
 }
 
 /// Re-runs the exchange with `faults_k` seeded permanent channel faults
@@ -471,7 +494,9 @@ bool svc_chaos_sweep(const TorusShape& shape, int sessions_k, std::uint64_t base
       }
     }
   }
-  const std::string svc_repro = repro("--sessions=" + std::to_string(sessions_k), base_seed);
+  const std::string svc_hint =
+      repro_command("--sessions=" + std::to_string(sessions_k), base_seed);
+  const std::string svc_repro = "  repro: " + svc_hint;
 
   // Single-session baseline: fixes the per-session sent-parcel count
   // every multi-session survivor must reproduce exactly.
@@ -508,6 +533,7 @@ bool svc_chaos_sweep(const TorusShape& shape, int sessions_k, std::uint64_t base
     options.max_active = sessions_k;
     options.max_queued = sessions_k;
     options.quotas["victim"].max_arena_frames = 1;
+    options.repro_hint = svc_hint;
     SessionManager mgr(shape, CostParams{}, options);
     const auto victim = static_cast<SessionId>((base_seed + round) %
                                                static_cast<std::uint64_t>(sessions_k));
@@ -545,6 +571,48 @@ bool svc_chaos_sweep(const TorusShape& shape, int sessions_k, std::uint64_t base
                     << svc_repro << '\n';
           return false;
         }
+        // Black-box audit: every injected failure must carry a
+        // parseable flight dump whose final event sits on the failing
+        // phase; a cooperative cancel is not a failure and must not.
+        if (mode.expected == SessionState::kCancelled) {
+          if (!rec.flight_dump.empty()) {
+            std::cerr << "FAIL " << shape.to_string() << ": cancelled victim of mode "
+                      << mode.name << " carries a flight dump (cancel is not a failure)\n"
+                      << svc_repro << '\n';
+            save_flight_artifact(shape.to_string() + "_" + mode.name, rec.flight_dump);
+            return false;
+          }
+          continue;
+        }
+        FlightDump dump;
+        std::string dump_error;
+        if (rec.flight_dump.empty() ||
+            !parse_flight_dump(rec.flight_dump, &dump, &dump_error)) {
+          std::cerr << "FAIL " << shape.to_string() << ": victim of mode " << mode.name
+                    << " has no parseable flight dump ("
+                    << (rec.flight_dump.empty() ? "empty" : dump_error) << ")\n"
+                    << svc_repro << '\n';
+          save_flight_artifact(shape.to_string() + "_" + mode.name, rec.flight_dump);
+          return false;
+        }
+        const char* expected_final = std::string(mode.name) == "crash" ? "svc.crash"
+                                     : std::string(mode.name) == "corrupt"
+                                         ? "svc.integrity_refused"
+                                         : "svc.quota_breach";
+        if (dump.session != victim || dump.events.empty() ||
+            dump.events.back().name != expected_final ||
+            dump.events.back().phase != inject_phase || dump.repro != svc_hint) {
+          std::cerr << "FAIL " << shape.to_string() << ": victim flight dump of mode "
+                    << mode.name << " does not pin the failure (session " << dump.session
+                    << ", final event \""
+                    << (dump.events.empty() ? "<none>" : dump.events.back().name)
+                    << "\" at phase "
+                    << (dump.events.empty() ? 0 : dump.events.back().phase) << ", expected \""
+                    << expected_final << "\" at phase " << inject_phase << ")\n"
+                    << svc_repro << '\n';
+          save_flight_artifact(shape.to_string() + "_" + mode.name, rec.flight_dump);
+          return false;
+        }
         continue;
       }
       if (rec.state != SessionState::kCompleted) {
@@ -574,7 +642,8 @@ bool svc_chaos_sweep(const TorusShape& shape, int sessions_k, std::uint64_t base
   }
   std::cout << "  svc chaos " << shape.to_string() << ": " << sessions_k << " sessions x "
             << modes.size() << " victim modes — all survivors byte-identical at "
-            << baseline_sent << " parcels each, victims isolated, 0 leaked frames\n";
+            << baseline_sent << " parcels each, victims isolated with parseable flight "
+            << "dumps pinned to phase " << inject_phase << ", 0 leaked frames\n";
   return true;
 }
 
@@ -620,7 +689,8 @@ bool storm_sweep(const TorusShape& shape, int sessions_k, std::uint64_t base_see
   const std::int64_t sa = static_cast<std::int64_t>(quarter - 1) * K;
   const std::int64_t sb = static_cast<std::int64_t>(pair - 1) * K;
   const Rank crash = N - 1;
-  const std::string storm_repro = repro("--storm=" + std::to_string(sessions_k), base_seed);
+  const std::string storm_hint = repro_command("--storm=" + std::to_string(sessions_k), base_seed);
+  const std::string storm_repro = "  repro: " + storm_hint;
 
   // Pick the victims from real traffic: one step-1 quarter-phase
   // transfer and one step-1 pair-phase transfer, neither touching the
@@ -682,6 +752,7 @@ bool storm_sweep(const TorusShape& shape, int sessions_k, std::uint64_t base_see
   // Suspect after ~3.5 silent ticks so the quarter-phase crash window
   // (>= 4 ticks at the K floor) is always detected before rejoin.
   options.health.detector.phi_threshold = 1.5;
+  options.repro_hint = storm_hint;
   SessionManager mgr(shape, CostParams{}, options);
   const double pc = mgr.phase_cost();
 
@@ -692,6 +763,15 @@ bool storm_sweep(const TorusShape& shape, int sessions_k, std::uint64_t base_see
     if (out) {
       out << m.health_dump();
       std::cerr << "  breaker-state artifact saved: " << path << '\n';
+    }
+    // The black boxes of the sessions in flight when the storm broke.
+    std::size_t saved = 0;
+    for (const auto& entry : m.flight_dumps()) {
+      if (saved >= 4) break;
+      save_flight_artifact(shape.to_string() + "_" + entry.trigger + "_s" +
+                               std::to_string(entry.session),
+                           entry.text);
+      ++saved;
     }
     return false;
   };
@@ -800,6 +880,34 @@ bool storm_sweep(const TorusShape& shape, int sessions_k, std::uint64_t base_see
                            " covering fault window(s): first-discoverer-heals-all broken");
     }
   }
+  // Every breaker trip must have left a parseable black box behind,
+  // stamped with this sweep's repro command.
+  std::int64_t trip_dumps = 0;
+  for (const auto& entry : mgr.flight_dumps()) {
+    FlightDump dump;
+    std::string dump_error;
+    if (!parse_flight_dump(entry.text, &dump, &dump_error)) {
+      save_flight_artifact(shape.to_string() + "_" + entry.trigger + "_s" +
+                               std::to_string(entry.session),
+                           entry.text);
+      return fail(mgr, "flight dump (trigger " + entry.trigger + ", session " +
+                           std::to_string(entry.session) +
+                           ") does not parse: " + dump_error);
+    }
+    if (dump.session != entry.session || dump.repro != storm_hint) {
+      save_flight_artifact(shape.to_string() + "_" + entry.trigger + "_s" +
+                               std::to_string(entry.session),
+                           entry.text);
+      return fail(mgr, "flight dump (trigger " + entry.trigger +
+                           ") is mis-stamped: session " + std::to_string(dump.session) +
+                           ", repro \"" + dump.repro + "\"");
+    }
+    if (entry.trigger == "breaker_trip") ++trip_dumps;
+  }
+  if (trip_dumps < 1) {
+    return fail(mgr, "the storm opened " + std::to_string(hs.opens) +
+                         " breakers but left no breaker-trip flight dump");
+  }
   const std::int64_t settled = settle(mgr);
   if (settled < 0) {
     return fail(mgr, "breakers failed to converge to closed within 256 idle health ticks "
@@ -861,7 +969,8 @@ bool storm_sweep(const TorusShape& shape, int sessions_k, std::uint64_t base_see
             << " parcels resent (== granted, 0 denied), " << hs.quarantine_hits
             << " quarantine hits, " << hs.rerouted_messages << " reroutes, "
             << hs.remap_hosted << " hosted, " << hs.chain_walks
-            << " chain walk(s), breakers closed after " << settled
+            << " chain walk(s), " << trip_dumps << " breaker-trip flight dump(s), "
+            << "breakers closed after " << settled
             << " idle tick(s); tight round: " << ts.deferrals << " deferral(s), "
             << ts.retry_denied << " tokens denied, all sessions completed, "
             << "0 silent corruptions\n";
@@ -875,7 +984,7 @@ int main(int argc, char** argv) {
     const CliFlags flags = CliFlags::parse(
         argc, argv,
         {"max-nodes", "max-dims", "flit-level", "layout", "static-nodes", "faults", "chaos",
-         "seed", "trace", "kill-rate", "sessions", "storm"});
+         "seed", "trace", "trace-capacity", "kill-rate", "sessions", "storm"});
     constexpr std::int64_t kIntMax = std::numeric_limits<int>::max();
     const std::int64_t max_nodes = flags.get_int("max-nodes", 800, 4, 1'000'000);
     const int max_dims = static_cast<int>(flags.get_int("max-dims", 4, 2, 16));
@@ -890,7 +999,12 @@ int main(int argc, char** argv) {
         flags.get_int("seed", 0, 0, std::numeric_limits<std::int64_t>::max()));
     const std::string trace_path = flags.get_string("trace", "");
     std::optional<Recorder> recorder;
-    if (!trace_path.empty()) recorder.emplace();
+    if (!trace_path.empty()) {
+      ObsOptions obs_options;
+      obs_options.events_per_thread = static_cast<std::size_t>(
+          flags.get_int("trace-capacity", 1 << 16, 1 << 10, 1 << 26));
+      recorder.emplace(obs_options);
+    }
     Recorder* obs = recorder.has_value() ? &*recorder : nullptr;
 
     std::vector<std::vector<std::int32_t>> shapes;
@@ -1061,9 +1175,10 @@ int main(int argc, char** argv) {
       std::cout << "trace: wrote " << trace_path << " (" << telemetry.events.size()
                 << " events, " << telemetry.streams << " stream(s))\n";
       if (telemetry.dropped_events > 0) {
-        std::cout << "trace: WARNING — " << telemetry.dropped_events
-                  << " events dropped (bounded buffers overflowed; the trace covers only "
-                  << "the sweep's prefix)\n";
+        std::cerr << "FAIL: " << telemetry.dropped_events
+                  << " trace events dropped (bounded buffers overflowed; the trace covers "
+                  << "only the sweep's prefix) — raise --trace-capacity and re-run\n";
+        return 1;
       }
     }
     return 0;
